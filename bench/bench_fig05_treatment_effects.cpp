@@ -1,0 +1,29 @@
+// Figure 5: the headline table — per-metric treatment effects with 95%
+// CIs in the bitrate-capping paired-link experiment: naive tau(0.05),
+// naive tau(0.95), approximate TTE, and spillover, all relative to the
+// global control cell.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/designs/paired_link.h"
+#include "core/report.h"
+
+int main() {
+  xp::bench::header(
+      "Figure 5 — treatment effects in the bitrate-capping paired-link "
+      "experiment (5 days)");
+  const auto run = xp::bench::main_experiment();
+  std::printf("sessions: %zu  (link1: 95%% capped, link2: 5%% capped)\n\n",
+              run.sessions.size());
+  const auto reports = xp::core::analyze_all_metrics(run.sessions);
+  xp::core::print_figure5_table(std::cout, reports);
+  std::printf(
+      "\npaper's qualitative findings to compare against:\n"
+      "  - naive A/B tests say capping *hurts* throughput (~-5%%) and "
+      "min RTT; TTE says it helps (+12%% tput, -24%% min RTT)\n"
+      "  - spillover is nonzero for most metrics (capping helps the "
+      "uncapped traffic too)\n"
+      "  - video bitrate drops ~-33%% with small spillover; play delay "
+      "improves ~-10%% (TTE) while naive tests miss it\n");
+  return 0;
+}

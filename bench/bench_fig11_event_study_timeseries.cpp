@@ -1,0 +1,38 @@
+// Figure 11: throughput over time in the emulated bitrate-capping event
+// study — control link data through day 3, then 95%-capped link data.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/designs/event_study.h"
+
+int main() {
+  xp::bench::header(
+      "Figure 11 — event study time series (capping deployed from day 4)");
+  const auto run = xp::bench::main_experiment();
+
+  xp::core::EventStudyOptions options;
+  options.switch_day = 3;
+  const auto obs = xp::core::event_study_observations(
+      run.sessions, xp::core::Metric::kThroughput, options);
+
+  // Hourly means over the 5 days.
+  std::vector<double> sum(5 * 24, 0.0), count(5 * 24, 0.0);
+  for (const auto& o : obs) {
+    sum[o.hour_index] += o.outcome;
+    count[o.hour_index] += 1.0;
+  }
+  double top = 0.0;
+  for (std::size_t h = 0; h < sum.size(); ++h) {
+    if (count[h] > 0.0) sum[h] /= count[h];
+    top = std::max(top, sum[h]);
+  }
+  std::printf("%5s %5s %6s | %-10s\n", "day", "hour", "tput", "arm");
+  for (std::size_t h = 0; h < sum.size(); h += 2) {
+    if (count[h] == 0.0) continue;
+    std::printf("%5zu %5zu %6.3f | %-10s\n", h / 24, h % 24, sum[h] / top,
+                h / 24 >= options.switch_day ? "treated" : "control");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks for the substrates: statistical
+// kernels, the discrete-event TCP simulator, and the session-level video
+// world. These guard the performance envelope that makes the figure
+// benches tractable.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/analysis.h"
+#include "sim/dumbbell.h"
+#include "stats/descriptive.h"
+#include "stats/ols.h"
+#include "stats/rng.h"
+#include "video/fluid_link.h"
+
+namespace {
+
+void BM_OlsHourlyFeNeweyWest(benchmark::State& state) {
+  // The Appendix-B regression shape: 240 cells, 26 columns.
+  xp::stats::Rng rng(1);
+  const int n = 240;
+  std::vector<double> y(n), arm(n);
+  std::vector<std::size_t> hod(n);
+  for (int i = 0; i < n; ++i) {
+    y[i] = rng.normal(100.0, 5.0);
+    arm[i] = i % 2;
+    hod[i] = static_cast<std::size_t>(i / 2) % 24;
+  }
+  xp::stats::DesignBuilder design;
+  design.intercept();
+  design.column(arm, "treated");
+  design.fixed_effects(hod, 24, "hour");
+  const auto x = design.build();
+  xp::stats::OlsOptions options;
+  options.covariance = xp::stats::CovarianceType::kNeweyWest;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xp::stats::ols_fit(x, y, options));
+  }
+}
+BENCHMARK(BM_OlsHourlyFeNeweyWest);
+
+void BM_Quantile(benchmark::State& state) {
+  xp::stats::Rng rng(2);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xp::stats::quantile(xs, 0.99));
+  }
+}
+BENCHMARK(BM_Quantile)->Arg(1000)->Arg(100000);
+
+void BM_RngNormal(benchmark::State& state) {
+  xp::stats::Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_MaxMinFairAllocation(benchmark::State& state) {
+  xp::stats::Rng rng(4);
+  std::vector<double> demands(static_cast<std::size_t>(state.range(0)));
+  for (auto& d : demands) d = rng.uniform(1e6, 50e6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        xp::video::max_min_fair_allocation(demands, 2e9));
+  }
+}
+BENCHMARK(BM_MaxMinFairAllocation)->Arg(100)->Arg(500);
+
+void BM_DumbbellSimSecond(benchmark::State& state) {
+  // Cost of one simulated second of the 10-flow 2 Gb/s lab world.
+  for (auto _ : state) {
+    xp::sim::DumbbellConfig config;
+    config.bottleneck_bps = 2e9;
+    config.warmup = 0.5;
+    config.duration = 1.5;
+    std::vector<xp::sim::AppSpec> specs(10, xp::sim::AppSpec{});
+    benchmark::DoNotOptimize(xp::sim::run_dumbbell(config, specs));
+  }
+}
+BENCHMARK(BM_DumbbellSimSecond)->Unit(benchmark::kMillisecond);
+
+void BM_HourlyAggregation(benchmark::State& state) {
+  xp::stats::Rng rng(5);
+  std::vector<xp::core::Observation> rows(100000);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].outcome = rng.normal(10.0, 2.0);
+    rows[i].treated = rng.bernoulli(0.5);
+    rows[i].hour_index = i % 120;
+    rows[i].hour_of_day = rows[i].hour_index % 24;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xp::core::aggregate_hourly(rows));
+  }
+}
+BENCHMARK(BM_HourlyAggregation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

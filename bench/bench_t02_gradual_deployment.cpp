@@ -1,0 +1,71 @@
+// Section 5.1: using a gradual deployment as an event-study instrument.
+// Ramp the parallel-connections treatment through increasing allocations,
+// estimate tau(p) / rho(p) / s(p) at every step, and run the SUTVA test
+// battery. Also the switchback-interval ablation from DESIGN.md: A/A
+// false-positive counts for day-level switchbacks vs event studies.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/aa_test.h"
+#include "core/designs/gradual.h"
+#include "lab/scenarios.h"
+
+int main() {
+  xp::bench::header(
+      "Gradual deployment (Section 5.1) — parallel-connections treatment "
+      "ramp, 10 Gb/s lab");
+
+  xp::lab::LabConfig config;
+  config.dumbbell.warmup = 2.0;
+  config.dumbbell.duration = 8.0;
+  const auto scenario = xp::lab::make_lab_scenario(
+      xp::lab::Treatment::kTwoConnections, xp::lab::LabMetric::kThroughput,
+      config);
+  xp::core::GradualOptions options;
+  options.allocations = {0.1, 0.3, 0.5, 0.7, 0.9};
+  options.replications = 3;
+  const auto report = xp::core::run_gradual_deployment(scenario, options);
+
+  std::printf("%6s | %10s %10s | %10s %10s %10s\n", "p", "mu_T", "mu_C",
+              "tau(p)", "rho(p)", "s(p)");
+  for (const auto& step : report.steps) {
+    std::printf("%6.2f | %7.0f Mb %7.0f Mb | %7.0f Mb %7.0f Mb %7.0f Mb\n",
+                step.allocation, step.mu_treated / 1e6,
+                step.mu_control / 1e6, step.tau.estimate / 1e6,
+                step.rho.estimate / 1e6, step.spillover.estimate / 1e6);
+  }
+  std::printf("\nfinal-step TTE proxy: %+0.1f%% of baseline (true TTE: 0)\n",
+              100.0 * report.tte.relative());
+  std::printf(
+      "SUTVA battery: max tau-inequality z = %.1f, significant spillovers "
+      "= %zu/%zu, max rho-vs-tau z = %.1f -> interference %s\n",
+      report.tests.max_tau_inequality_z,
+      report.tests.significant_spillovers, report.steps.size(),
+      report.tests.max_partial_vs_average_z,
+      report.tests.interference_detected ? "DETECTED" : "not detected");
+
+  // --- A/A design calibration (Section 5.3) ---
+  xp::bench::header(
+      "A/A calibration — switchback vs event-study false positives on "
+      "baseline data");
+  const auto baseline = xp::bench::baseline_week();
+  std::printf("%-22s | %-26s %-26s\n", "metric",
+              "switchback FP (of tested)", "event-study FP (of tested)");
+  for (auto metric :
+       {xp::core::Metric::kThroughput, xp::core::Metric::kMinRtt,
+        xp::core::Metric::kBitrate, xp::core::Metric::kPlayDelay,
+        xp::core::Metric::kRetransmitFraction}) {
+    const auto sb = xp::core::calibrate_switchback_aa(baseline.sessions,
+                                                      metric, 5);
+    const auto es = xp::core::calibrate_event_study_aa(baseline.sessions,
+                                                       metric, 5);
+    std::printf("%-22s | %10zu / %-12zu %10zu / %-12zu\n",
+                std::string(metric_name(metric)).c_str(),
+                sb.false_positives, sb.assignments_tested,
+                es.false_positives, es.assignments_tested);
+  }
+  std::printf(
+      "\n(paper: zero switchback false positives; event studies false-"
+      "positive on the majority of metrics)\n");
+  return 0;
+}

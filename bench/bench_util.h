@@ -1,0 +1,42 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "video/cluster.h"
+
+namespace xp::bench {
+
+inline void header(std::string_view title) {
+  std::printf("\n%.*s\n", 100,
+              "====================================================="
+              "===============================================");
+  std::printf("  %s\n", std::string(title).c_str());
+  std::printf("%.*s\n", 100,
+              "====================================================="
+              "===============================================");
+}
+
+/// The canonical 5-day paired-link experiment of Section 4 (Wed-Sun).
+inline video::ClusterResult main_experiment(double days = 5.0,
+                                            std::uint64_t seed = 2021) {
+  video::ClusterConfig config;
+  config.days = days;
+  config.seed = seed;
+  return video::run_paired_links(config);
+}
+
+/// The baseline week: no treatment anywhere (Section 4.1 / A/A data).
+inline video::ClusterResult baseline_week(double days = 5.0,
+                                          std::uint64_t seed = 1917) {
+  video::ClusterConfig config;
+  config.days = days;
+  config.seed = seed;
+  config.treat_probability[0] = 0.0;
+  config.treat_probability[1] = 0.0;
+  return video::run_paired_links(config);
+}
+
+}  // namespace xp::bench

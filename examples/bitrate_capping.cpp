@@ -1,0 +1,45 @@
+// The Section 4 scenario end-to-end: run a paired-link bitrate-capping
+// experiment on the streaming substrate and print the four estimands for
+// the key metrics — showing how naive A/B tests mislead while the paired
+// design recovers TTE and spillover.
+#include <cstdio>
+#include <string>
+
+#include "core/designs/paired_link.h"
+#include "core/report.h"
+#include "video/cluster.h"
+
+int main() {
+  // Two days keeps this example snappy; the bench binaries run 5 days.
+  xp::video::ClusterConfig config;
+  config.days = 2.0;
+  config.seed = 7;
+  std::printf("simulating 2 days of paired-link streaming traffic...\n");
+  const auto run = xp::video::run_paired_links(config);
+  std::printf("sessions: %zu; peak concurrency %0.f / %0.f; peak queueing "
+              "delay %.0f ms / %.0f ms\n\n",
+              run.sessions.size(), run.stats.peak_concurrency[0],
+              run.stats.peak_concurrency[1],
+              run.stats.max_queueing_delay[0] * 1e3,
+              run.stats.max_queueing_delay[1] * 1e3);
+
+  for (auto metric :
+       {xp::core::Metric::kMinRtt, xp::core::Metric::kThroughput,
+        xp::core::Metric::kBitrate, xp::core::Metric::kPlayDelay}) {
+    const auto report = xp::core::analyze_paired_link(run.sessions, metric);
+    std::printf("%s:\n", std::string(metric_name(metric)).c_str());
+    std::printf("  naive tau(0.05): %s\n",
+                xp::core::format_relative(report.naive_low).c_str());
+    std::printf("  naive tau(0.95): %s\n",
+                xp::core::format_relative(report.naive_high).c_str());
+    std::printf("  TTE            : %s\n",
+                xp::core::format_relative(report.tte).c_str());
+    std::printf("  spillover      : %s\n\n",
+                xp::core::format_relative(report.spillover).c_str());
+  }
+  std::printf(
+      "note how the within-link (naive) estimates sit near zero while the "
+      "cross-link TTE is large:\ntreatment and control share the same "
+      "queue, so they cannot diverge on the same link.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Designing and analyzing switchback experiments (Section 5.2): size the
+// experiment with a power calculation, draw the interval assignment,
+// analyze with the conservative hourly pipeline, and compare with an
+// event study on the same data.
+#include <cstdio>
+#include <string>
+
+#include "core/assignment.h"
+#include "core/designs/event_study.h"
+#include "core/designs/switchback.h"
+#include "stats/power.h"
+#include "video/cluster.h"
+
+int main() {
+  // 1. Power planning: day-level intervals are single observations under
+  //    the worst-case correlation assumption.
+  const std::size_t intervals =
+      xp::stats::required_switchback_intervals(/*effect=*/1.0,
+                                               /*interval_sd=*/0.8);
+  std::printf("power calc: detecting a 1-sigma day-level effect needs ~%zu "
+              "switchback intervals\n\n",
+              intervals);
+
+  // 2. Run a 4-day targeted experiment world.
+  xp::video::ClusterConfig config;
+  config.days = 4.0;
+  config.seed = 99;
+  const auto run = xp::video::run_paired_links(config);
+
+  // 3. Random day assignment (alternating with random start, as in the
+  //    paper's emulation).
+  const auto days = xp::core::alternating_assignment(4, /*seed=*/2021);
+  xp::core::SwitchbackOptions sb;
+  sb.day_treated.assign(days.begin(), days.end());
+  std::printf("day assignment:");
+  for (bool treated : sb.day_treated) {
+    std::printf(" %s", treated ? "T" : "C");
+  }
+  std::printf("\n\n");
+
+  // 4. Analyze, and contrast with an event study (switch at day 2).
+  xp::core::EventStudyOptions es;
+  es.switch_day = 2;
+  std::printf("%-22s | %-12s %-12s\n", "metric", "switchback",
+              "event study");
+  for (auto metric :
+       {xp::core::Metric::kMinRtt, xp::core::Metric::kBitrate,
+        xp::core::Metric::kPlayDelay}) {
+    const auto sb_tte = xp::core::switchback_tte(run.sessions, metric, sb);
+    const auto es_tte = xp::core::event_study_tte(run.sessions, metric, es);
+    std::printf("%-22s | %+10.1f%% %+10.1f%%\n",
+                std::string(metric_name(metric)).c_str(),
+                100.0 * sb_tte.relative(), 100.0 * es_tte.relative());
+  }
+  std::printf(
+      "\nswitchbacks randomize over days and dodge day-of-week "
+      "seasonality; event studies cannot.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// A/A calibration (Sections 4.1 and 5.3, and [54, Ch. 19]).
+//
+// Before trusting any design, run it with no treatment anywhere and check
+// that it does not "detect" effects. Two calibrations from the paper:
+//
+//  * Link similarity (the Section 4.1 baseline week): compare links on
+//    every metric; significant differences are pre-existing imbalances
+//    that must be accounted for (the paper found rebuffer imbalance).
+//  * Design false positives: run the switchback / event-study analysis
+//    over A/A data with every possible interval assignment and count
+//    significant results. The paper found zero for switchbacks and
+//    majority-of-metrics false positives for event studies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/session_metrics.h"
+
+namespace xp::core {
+
+struct LinkSimilarityRow {
+  Metric metric = Metric::kThroughput;
+  EffectEstimate difference;  ///< link0 - link1, hourly FE pipeline
+};
+
+/// Section 4.1 style baseline comparison: for every metric, estimate the
+/// link0-vs-link1 difference on all-control data.
+std::vector<LinkSimilarityRow> link_similarity(
+    std::span<const video::SessionRecord> rows,
+    const AnalysisOptions& options = {});
+
+struct DesignCalibration {
+  std::size_t assignments_tested = 0;
+  std::size_t false_positives = 0;  ///< significant results on A/A data
+  double max_abs_relative_estimate = 0.0;
+};
+
+/// Exhaustively test every day assignment (with >=1 day per arm) of a
+/// switchback over A/A data for one metric; count false positives.
+DesignCalibration calibrate_switchback_aa(
+    std::span<const video::SessionRecord> rows, Metric metric,
+    std::uint32_t days, const AnalysisOptions& options = {});
+
+/// Test every switch day of an event study over A/A data for one metric.
+DesignCalibration calibrate_event_study_aa(
+    std::span<const video::SessionRecord> rows, Metric metric,
+    std::uint32_t days, const AnalysisOptions& options = {});
+
+}  // namespace xp::core

@@ -1,0 +1,62 @@
+// The paper's two analysis pipelines (Appendix B).
+//
+// 1. Hourly aggregation + fixed-effects regression with Newey-West HAC
+//    standard errors (lag 2):
+//
+//        Z_t(A) = c + beta0 * A + beta_t + eps
+//
+//    where Z_t(A) is the mean outcome of arm A in hour t and beta_t are
+//    hour-of-day fixed effects. Aggregating to hours makes the worst-case
+//    assumption that sessions within an hour are perfectly correlated —
+//    deliberately conservative. Used for TTE and spillover estimates.
+//
+// 2. Account-level difference in means (Welch): the standard way naive
+//    A/B tests are read out, with much tighter intervals (Figure 13
+//    contrasts the two).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/estimands.h"
+#include "core/observation.h"
+
+namespace xp::core {
+
+struct HourlyCell {
+  std::uint64_t hour_index = 0;
+  std::uint32_t hour_of_day = 0;
+  bool treated = false;
+  double mean_outcome = 0.0;
+  std::size_t sessions = 0;
+};
+
+/// Aggregate observations into per-(hour, arm) means — the Z_t(A) of
+/// Appendix B. Cells are ordered by (hour_index, arm) so the regression's
+/// Newey-West lag structure sees consecutive hours adjacently.
+std::vector<HourlyCell> aggregate_hourly(std::span<const Observation> rows);
+
+struct AnalysisOptions {
+  double confidence_level = 0.95;
+  std::size_t newey_west_lag = 2;  ///< hours, as in the paper
+  /// Baseline for relative effects: when 0, uses the control-arm mean of
+  /// the supplied rows.
+  double baseline_override = 0.0;
+};
+
+/// Pipeline 1: hourly aggregation -> hour-of-day FE regression ->
+/// Newey-West(lag) inference on the treatment coefficient.
+EffectEstimate hourly_fe_analysis(std::span<const Observation> rows,
+                                  const AnalysisOptions& options = {});
+
+/// Pipeline 2: account-level Welch difference in means.
+EffectEstimate account_level_analysis(std::span<const Observation> rows,
+                                      const AnalysisOptions& options = {});
+
+/// Mean outcome of one arm (helper for baselines and cell plots).
+double arm_mean(std::span<const Observation> rows, bool treated);
+
+/// Mean outcome of all rows.
+double overall_mean(std::span<const Observation> rows);
+
+}  // namespace xp::core

@@ -1,0 +1,56 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xp::core {
+
+bool hash_assign(std::uint64_t unit_id, std::uint64_t experiment_salt,
+                 double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const std::uint64_t h = stats::mix64(unit_id ^ experiment_salt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+std::vector<bool> bernoulli_assignment(std::size_t n, double p,
+                                       std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<bool> assignment(n);
+  for (std::size_t i = 0; i < n; ++i) assignment[i] = rng.bernoulli(p);
+  return assignment;
+}
+
+std::vector<bool> complete_assignment(std::size_t n, double p,
+                                      std::uint64_t seed) {
+  const auto treated =
+      static_cast<std::size_t>(std::floor(p * static_cast<double>(n)));
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  stats::Rng rng(seed);
+  rng.shuffle(order);
+  std::vector<bool> assignment(n, false);
+  for (std::size_t i = 0; i < treated && i < n; ++i) {
+    assignment[order[i]] = true;
+  }
+  return assignment;
+}
+
+std::vector<bool> switchback_assignment(std::size_t n_intervals,
+                                        std::uint64_t seed) {
+  return bernoulli_assignment(n_intervals, 0.5, seed);
+}
+
+std::vector<bool> alternating_assignment(std::size_t n_intervals,
+                                         std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const bool start_treated = rng.bernoulli(0.5);
+  std::vector<bool> assignment(n_intervals);
+  for (std::size_t i = 0; i < n_intervals; ++i) {
+    assignment[i] = (i % 2 == 0) == start_treated;
+  }
+  return assignment;
+}
+
+}  // namespace xp::core

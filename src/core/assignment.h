@@ -1,0 +1,40 @@
+// Randomized treatment assignment (Section 2, "Randomized unit
+// assignment"): each unit is an independent Bernoulli(p) draw. Two forms:
+// sequence-based (seeded stream, for simulations that create units on the
+// fly) and hash-based (deterministic per unit id + experiment salt — how
+// production experimentation platforms bucket users so assignment is
+// stable across sessions and services).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace xp::core {
+
+/// Deterministic unit-level assignment: hash(unit ^ salt) < p * 2^64.
+bool hash_assign(std::uint64_t unit_id, std::uint64_t experiment_salt,
+                 double p) noexcept;
+
+/// Assign n units by independent Bernoulli(p) draws from a seeded stream.
+std::vector<bool> bernoulli_assignment(std::size_t n, double p,
+                                       std::uint64_t seed);
+
+/// Completely randomized assignment: exactly floor(n*p) treated units,
+/// uniformly chosen (lower variance than Bernoulli for small n).
+std::vector<bool> complete_assignment(std::size_t n, double p,
+                                      std::uint64_t seed);
+
+/// Interval (switchback) assignment: each of `n_intervals` is treated
+/// with probability 1/2, independently (Section 5.2).
+std::vector<bool> switchback_assignment(std::size_t n_intervals,
+                                        std::uint64_t seed);
+
+/// Alternating switchback assignment with a random initial arm — the
+/// design emulated in Section 5.3 (days 1, 3, 5 treated when starting
+/// with treatment).
+std::vector<bool> alternating_assignment(std::size_t n_intervals,
+                                         std::uint64_t seed);
+
+}  // namespace xp::core

@@ -1,0 +1,52 @@
+// The paired-link experiment design and analysis (Section 4 + Appendix
+// B.1). Link 0 runs a 95%-treatment A/B test, link 1 a 5%-treatment A/B
+// test, simultaneously. Four analyses per metric:
+//
+//   naive tau(0.95):  treated vs control within link 0 (account-level)
+//   naive tau(0.05):  treated vs control within link 1 (account-level)
+//   TTE-hat:          95% treated on link 0 vs 95% control on link 1
+//                     (hourly FE + Newey-West)
+//   spillover-hat:    5% control on link 0 vs 95% control on link 1
+//                     (hourly FE + Newey-West)
+//
+// All reported values are normalized by the mean of the 95%-control cell
+// on link 1 — the same global control condition for every row.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/session_metrics.h"
+
+namespace xp::core {
+
+struct PairedLinkOptions {
+  std::uint8_t mostly_treated_link = 0;
+  std::uint8_t mostly_control_link = 1;
+  AnalysisOptions analysis;
+};
+
+struct PairedLinkReport {
+  Metric metric = Metric::kThroughput;
+  EffectEstimate naive_high;  ///< tau-hat(0.95), within mostly-treated link
+  EffectEstimate naive_low;   ///< tau-hat(0.05), within mostly-control link
+  EffectEstimate tte;         ///< approximate total treatment effect
+  EffectEstimate spillover;   ///< s-hat(0.95)
+  /// Cell means [link][arm] for the Figure 7/8 style plots.
+  double cell_mean[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  std::size_t cell_count[2][2] = {{0, 0}, {0, 0}};
+  double baseline = 0.0;  ///< normalizing mean (mostly-control link, control)
+};
+
+/// Analyze one metric of a paired-link experiment dataset.
+PairedLinkReport analyze_paired_link(
+    std::span<const video::SessionRecord> rows, Metric metric,
+    const PairedLinkOptions& options = {});
+
+/// Analyze every metric in kAllMetrics (the Figure 5 table).
+std::vector<PairedLinkReport> analyze_all_metrics(
+    std::span<const video::SessionRecord> rows,
+    const PairedLinkOptions& options = {});
+
+}  // namespace xp::core

@@ -1,0 +1,62 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace xp::core {
+
+std::string format_relative(const EffectEstimate& estimate) {
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer), "%+7.1f%% [%+7.1f%%,%+7.1f%%]%s",
+                estimate.relative() * 100.0,
+                estimate.relative_ci_low() * 100.0,
+                estimate.relative_ci_high() * 100.0,
+                estimate.significant ? "*" : " ");
+  return buffer;
+}
+
+void print_header(std::ostream& os, std::string_view title) {
+  os << '\n' << std::string(100, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(100, '=') << '\n';
+}
+
+void print_figure5_table(std::ostream& os,
+                         std::span<const PairedLinkReport> reports) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-22s | %-32s %-32s %-32s %-32s",
+                "metric", "naive tau(0.05)", "naive tau(0.95)",
+                "TTE (paired link)", "spillover s(0.95)");
+  os << line << '\n' << std::string(160, '-') << '\n';
+  for (const PairedLinkReport& report : reports) {
+    std::snprintf(line, sizeof(line), "%-22s | %-32s %-32s %-32s %-32s",
+                  std::string(metric_name(report.metric)).c_str(),
+                  format_relative(report.naive_low).c_str(),
+                  format_relative(report.naive_high).c_str(),
+                  format_relative(report.tte).c_str(),
+                  format_relative(report.spillover).c_str());
+    os << line << '\n';
+  }
+  os << "  (* = significant at 95%; values relative to the global control "
+        "cell)\n";
+}
+
+void print_cell_table(std::ostream& os, const PairedLinkReport& report,
+                      std::string_view unit_label, double unit_scale) {
+  char line[160];
+  os << "cells for " << metric_name(report.metric) << " (" << unit_label
+     << "):\n";
+  std::snprintf(line, sizeof(line), "  %-26s %12s %12s", "",
+                "control", "treatment");
+  os << line << '\n';
+  for (int link = 0; link < 2; ++link) {
+    std::snprintf(line, sizeof(line), "  link %d (%3.0f%% treated)      %12.3f %12.3f",
+                  link + 1, link == 0 ? 95.0 : 5.0,
+                  report.cell_mean[link][0] * unit_scale,
+                  report.cell_mean[link][1] * unit_scale);
+    os << line << '\n';
+  }
+}
+
+}  // namespace xp::core

@@ -1,0 +1,30 @@
+// Fixed-width table rendering for benchmark binaries: the Figure 5 /
+// Figure 10 style "metric x estimator" tables and allocation-sweep series.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/designs/paired_link.h"
+#include "core/estimands.h"
+
+namespace xp::core {
+
+/// "+12.3% [ +8.1%, +16.4%]" or "  (ns)" when not significant.
+std::string format_relative(const EffectEstimate& estimate);
+
+/// Print the Figure 5 table: one row per metric, columns for the naive
+/// estimates, TTE and spillover (all relative to the global control).
+void print_figure5_table(std::ostream& os,
+                         std::span<const PairedLinkReport> reports);
+
+/// Print the Figure 7/8 style cell table for one metric.
+void print_cell_table(std::ostream& os, const PairedLinkReport& report,
+                      std::string_view unit_label, double unit_scale);
+
+/// Horizontal rule + centered title helper for bench output.
+void print_header(std::ostream& os, std::string_view title);
+
+}  // namespace xp::core

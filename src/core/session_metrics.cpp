@@ -1,0 +1,119 @@
+#include "core/session_metrics.h"
+
+namespace xp::core {
+
+std::string_view metric_name(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kThroughput:
+      return "avg throughput";
+    case Metric::kMinRtt:
+      return "min RTT";
+    case Metric::kMeanRtt:
+      return "mean RTT";
+    case Metric::kPlayDelay:
+      return "play delay";
+    case Metric::kCancelledStart:
+      return "cancelled starts";
+    case Metric::kBitrate:
+      return "video bitrate";
+    case Metric::kPerceptualQuality:
+      return "perceptual quality";
+    case Metric::kRetransmitFraction:
+      return "% retransmitted bytes";
+    case Metric::kRebufferRate:
+      return "sessions w/ rebuffer";
+    case Metric::kRebufferCount:
+      return "rebuffer count";
+    case Metric::kStability:
+      return "video stability";
+    case Metric::kBytes:
+      return "bytes sent";
+  }
+  return "?";
+}
+
+bool lower_is_better(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kMinRtt:
+    case Metric::kMeanRtt:
+    case Metric::kPlayDelay:
+    case Metric::kCancelledStart:
+    case Metric::kRetransmitFraction:
+    case Metric::kRebufferRate:
+    case Metric::kRebufferCount:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double metric_value(const video::SessionRecord& row, Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kThroughput:
+      return row.avg_throughput_bps;
+    case Metric::kMinRtt:
+      return row.min_rtt;
+    case Metric::kMeanRtt:
+      return row.mean_rtt;
+    case Metric::kPlayDelay:
+      return row.play_delay;
+    case Metric::kCancelledStart:
+      return row.cancelled_start ? 1.0 : 0.0;
+    case Metric::kBitrate:
+      return row.avg_bitrate_bps;
+    case Metric::kPerceptualQuality:
+      return row.perceptual_quality;
+    case Metric::kRetransmitFraction:
+      return row.retransmit_fraction;
+    case Metric::kRebufferRate:
+      return row.had_rebuffer ? 1.0 : 0.0;
+    case Metric::kRebufferCount:
+      return static_cast<double>(row.rebuffer_count);
+    case Metric::kStability:
+      return row.stability;
+    case Metric::kBytes:
+      return row.bytes_sent;
+  }
+  return 0.0;
+}
+
+bool matches(const video::SessionRecord& row,
+             const RowFilter& filter) noexcept {
+  if (filter.link >= 0 && row.link != filter.link) return false;
+  if (filter.treated >= 0 && static_cast<int>(row.treated) != filter.treated) {
+    return false;
+  }
+  if (filter.day_min >= 0 &&
+      row.day < static_cast<std::uint32_t>(filter.day_min)) {
+    return false;
+  }
+  if (filter.day_max >= 0 &&
+      row.day > static_cast<std::uint32_t>(filter.day_max)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Observation> select(std::span<const video::SessionRecord> rows,
+                                Metric metric, const RowFilter& filter,
+                                int relabel_treated) {
+  std::vector<Observation> out;
+  out.reserve(rows.size() / 2);
+  for (const video::SessionRecord& row : rows) {
+    if (!matches(row, filter)) continue;
+    Observation obs;
+    obs.unit = row.session_id;
+    obs.account = row.account_id;
+    obs.treated =
+        relabel_treated < 0 ? row.treated : relabel_treated != 0;
+    obs.outcome = metric_value(row, metric);
+    obs.hour_of_day = row.hour;
+    obs.hour_index = static_cast<std::uint64_t>(row.day) * 24 + row.hour;
+    obs.day = row.day;
+    obs.group = row.link;
+    out.push_back(obs);
+  }
+  return out;
+}
+
+}  // namespace xp::core

@@ -1,0 +1,66 @@
+// Adapter from the video substrate's telemetry rows to the experiment
+// framework's observations, keyed by the QoE/network metrics the paper
+// reports (Figure 5).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/observation.h"
+#include "video/session_record.h"
+
+namespace xp::core {
+
+enum class Metric {
+  kThroughput,          ///< client-measured download throughput (b/s)
+  kMinRtt,              ///< per-session minimum RTT (s)
+  kMeanRtt,             ///< per-session mean RTT (s)
+  kPlayDelay,           ///< startup latency (s)
+  kCancelledStart,      ///< 1 if the user abandoned during startup
+  kBitrate,             ///< time-weighted video bitrate (b/s)
+  kPerceptualQuality,   ///< 0-100 quality score
+  kRetransmitFraction,  ///< retransmitted / sent bytes
+  kRebufferRate,        ///< 1 if the session had any rebuffer
+  kRebufferCount,       ///< number of rebuffer events
+  kStability,           ///< 1 / (1 + switches per minute)
+  kBytes,               ///< total wire bytes sent
+};
+
+inline constexpr Metric kAllMetrics[] = {
+    Metric::kThroughput,      Metric::kMinRtt,
+    Metric::kMeanRtt,         Metric::kPlayDelay,
+    Metric::kCancelledStart,  Metric::kBitrate,
+    Metric::kPerceptualQuality, Metric::kRetransmitFraction,
+    Metric::kRebufferRate,    Metric::kRebufferCount,
+    Metric::kStability,       Metric::kBytes,
+};
+
+std::string_view metric_name(Metric metric) noexcept;
+
+/// True when a smaller value of the metric is better for users.
+bool lower_is_better(Metric metric) noexcept;
+
+/// Extract the metric value from one telemetry row.
+double metric_value(const video::SessionRecord& row, Metric metric) noexcept;
+
+/// Row filter: -1 matches anything.
+struct RowFilter {
+  int link = -1;     ///< 0/1 or -1
+  int treated = -1;  ///< 0/1 or -1
+  int day_min = -1;
+  int day_max = -1;  ///< inclusive
+};
+
+bool matches(const video::SessionRecord& row, const RowFilter& filter) noexcept;
+
+/// Convert matching telemetry rows to observations of `metric`.
+/// `relabel_treated`: -1 keeps the row's own assignment; 0/1 forces the
+/// observation's arm label (used when comparing cells across links, e.g.
+/// the TTE contrast labels link-1 treated rows A=1 and link-2 control
+/// rows A=0).
+std::vector<Observation> select(std::span<const video::SessionRecord> rows,
+                                Metric metric, const RowFilter& filter,
+                                int relabel_treated = -1);
+
+}  // namespace xp::core

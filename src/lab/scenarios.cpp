@@ -1,0 +1,167 @@
+#include "lab/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xp::lab {
+
+const char* treatment_name(Treatment treatment) noexcept {
+  switch (treatment) {
+    case Treatment::kTwoConnections:
+      return "two parallel connections";
+    case Treatment::kPacing:
+      return "pacing";
+    case Treatment::kBbrVsCubic:
+      return "BBR (vs Cubic)";
+  }
+  return "?";
+}
+
+namespace {
+
+sim::AppSpec control_spec(Treatment treatment) {
+  sim::AppSpec spec;
+  spec.label = "control";
+  switch (treatment) {
+    case Treatment::kTwoConnections:
+      spec.connections = 1;
+      spec.algorithm = sim::CcAlgorithm::kReno;
+      break;
+    case Treatment::kPacing:
+      spec.connections = 1;
+      spec.algorithm = sim::CcAlgorithm::kReno;
+      spec.pacing = false;
+      break;
+    case Treatment::kBbrVsCubic:
+      spec.connections = 1;
+      spec.algorithm = sim::CcAlgorithm::kCubic;
+      break;
+  }
+  return spec;
+}
+
+sim::AppSpec treated_spec(Treatment treatment) {
+  sim::AppSpec spec = control_spec(treatment);
+  spec.label = "treatment";
+  switch (treatment) {
+    case Treatment::kTwoConnections:
+      spec.connections = 2;
+      break;
+    case Treatment::kPacing:
+      spec.pacing = true;
+      break;
+    case Treatment::kBbrVsCubic:
+      spec.algorithm = sim::CcAlgorithm::kBbr;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+LabRun run_lab(Treatment treatment, std::size_t treated_count,
+               const LabConfig& config) {
+  if (treated_count > config.num_apps) {
+    throw std::invalid_argument("run_lab: treated_count > num_apps");
+  }
+  std::vector<sim::AppSpec> specs;
+  specs.reserve(config.num_apps);
+  for (std::size_t i = 0; i < config.num_apps; ++i) {
+    specs.push_back(i < treated_count ? treated_spec(treatment)
+                                      : control_spec(treatment));
+  }
+  sim::DumbbellConfig dumbbell = config.dumbbell;
+  dumbbell.seed = config.seed;
+  const sim::DumbbellResult result = sim::run_dumbbell(dumbbell, specs);
+
+  LabRun run;
+  run.aggregate_throughput_bps = result.aggregate_throughput_bps;
+  run.link_utilization = result.link_utilization;
+  run.units.reserve(result.apps.size());
+  for (std::size_t i = 0; i < result.apps.size(); ++i) {
+    const sim::AppMetrics& m = result.apps[i].metrics;
+    LabUnit unit;
+    unit.treated = i < treated_count;
+    unit.throughput_bps = m.throughput_bps;
+    unit.retransmit_fraction = m.retransmit_fraction;
+    unit.mean_rtt = m.mean_rtt;
+    unit.min_rtt = m.min_rtt;
+    run.units.push_back(unit);
+  }
+  return run;
+}
+
+std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
+                                             const LabConfig& config) {
+  std::vector<SweepPoint> sweep;
+  for (std::size_t treated = 0; treated <= config.num_apps; ++treated) {
+    LabConfig point_config = config;
+    point_config.seed = config.seed + treated * 7919;
+    const LabRun run = run_lab(treatment, treated, point_config);
+
+    SweepPoint point;
+    point.treated_count = treated;
+    point.allocation =
+        static_cast<double>(treated) / static_cast<double>(config.num_apps);
+    point.aggregate_throughput = run.aggregate_throughput_bps;
+    double nt = 0.0, nc = 0.0;
+    for (const LabUnit& unit : run.units) {
+      if (unit.treated) {
+        point.mu_treated_throughput += unit.throughput_bps;
+        point.mu_treated_retransmit += unit.retransmit_fraction;
+        nt += 1.0;
+      } else {
+        point.mu_control_throughput += unit.throughput_bps;
+        point.mu_control_retransmit += unit.retransmit_fraction;
+        nc += 1.0;
+      }
+    }
+    if (nt > 0.0) {
+      point.mu_treated_throughput /= nt;
+      point.mu_treated_retransmit /= nt;
+    }
+    if (nc > 0.0) {
+      point.mu_control_throughput /= nc;
+      point.mu_control_retransmit /= nc;
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+core::Scenario make_lab_scenario(Treatment treatment, LabMetric metric,
+                                 const LabConfig& config) {
+  return [treatment, metric, config](double p, std::uint64_t seed) {
+    LabConfig run_config = config;
+    run_config.seed = seed;
+    const auto treated_count = static_cast<std::size_t>(
+        std::lround(p * static_cast<double>(config.num_apps)));
+    const LabRun run = run_lab(treatment, treated_count, run_config);
+
+    std::vector<core::Observation> observations;
+    observations.reserve(run.units.size());
+    for (std::size_t i = 0; i < run.units.size(); ++i) {
+      const LabUnit& unit = run.units[i];
+      core::Observation obs;
+      obs.unit = i;
+      obs.account = i;
+      obs.treated = unit.treated;
+      switch (metric) {
+        case LabMetric::kThroughput:
+          obs.outcome = unit.throughput_bps;
+          break;
+        case LabMetric::kRetransmitFraction:
+          obs.outcome = unit.retransmit_fraction;
+          break;
+        case LabMetric::kMeanRtt:
+          obs.outcome = unit.mean_rtt;
+          break;
+      }
+      observations.push_back(obs);
+    }
+    return observations;
+  };
+}
+
+}  // namespace xp::lab

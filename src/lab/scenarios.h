@@ -1,0 +1,72 @@
+// Section 3 lab scenarios: experimental units are applications sharing
+// the dumbbell bottleneck; the treatment changes their transport behavior
+// (number of parallel connections, pacing, or congestion control). The
+// allocation sweep recreates Figures 2-3: every point on the x-axis is a
+// different A/B test of the same treatment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/designs/gradual.h"
+#include "core/observation.h"
+#include "sim/dumbbell.h"
+
+namespace xp::lab {
+
+enum class Treatment {
+  kTwoConnections,  ///< 1 connection -> 2 parallel connections (Fig 2a)
+  kPacing,          ///< unpaced Reno -> paced Reno (Fig 2b)
+  kBbrVsCubic,      ///< Cubic -> BBR (Fig 3)
+};
+
+const char* treatment_name(Treatment treatment) noexcept;
+
+struct LabConfig {
+  sim::DumbbellConfig dumbbell;
+  std::size_t num_apps = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Per-application outcomes of one lab run.
+struct LabUnit {
+  bool treated = false;
+  double throughput_bps = 0.0;
+  double retransmit_fraction = 0.0;
+  double mean_rtt = 0.0;
+  double min_rtt = 0.0;
+};
+
+struct LabRun {
+  std::vector<LabUnit> units;
+  double aggregate_throughput_bps = 0.0;
+  double link_utilization = 0.0;
+};
+
+/// Run the scenario with `treated_count` of the apps in treatment.
+LabRun run_lab(Treatment treatment, std::size_t treated_count,
+               const LabConfig& config);
+
+/// One point of the Figure 2/3 sweep.
+struct SweepPoint {
+  std::size_t treated_count = 0;
+  double allocation = 0.0;
+  double mu_treated_throughput = 0.0;
+  double mu_control_throughput = 0.0;
+  double mu_treated_retransmit = 0.0;
+  double mu_control_retransmit = 0.0;
+  double aggregate_throughput = 0.0;
+};
+
+/// Sweep the treated-app count 0..num_apps (the full Figure 2/3 series).
+std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
+                                             const LabConfig& config);
+
+enum class LabMetric { kThroughput, kRetransmitFraction, kMeanRtt };
+
+/// Adapt a lab scenario into the gradual-deployment framework: returns a
+/// callable producing app-level observations of `metric` at allocation p.
+core::Scenario make_lab_scenario(Treatment treatment, LabMetric metric,
+                                 const LabConfig& config);
+
+}  // namespace xp::lab

@@ -1,0 +1,56 @@
+#include "sim/application.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xp::sim {
+
+void Application::add_connection(std::unique_ptr<TcpConnection> connection) {
+  connections_.push_back(std::move(connection));
+}
+
+void Application::start_all(const std::vector<Time>& offsets) {
+  if (offsets.size() != connections_.size()) {
+    throw std::invalid_argument("Application::start_all: offsets mismatch");
+  }
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    TcpConnection* conn = connections_[i].get();
+    sim_.schedule_in(offsets[i], [conn]() { conn->start(); });
+  }
+}
+
+void Application::reset_stats() {
+  for (auto& conn : connections_) conn->reset_stats();
+}
+
+AppMetrics Application::metrics(Time window_seconds) const {
+  AppMetrics m;
+  m.connections = connections_.size();
+  double rtt_sum = 0.0;
+  std::uint64_t rtt_samples = 0;
+  double min_rtt = 1e9;
+  for (const auto& conn : connections_) {
+    const ConnectionStats& s = conn->stats();
+    m.bytes_acked += s.bytes_acked;
+    m.bytes_sent += s.bytes_sent;
+    m.bytes_retransmitted += s.bytes_retransmitted;
+    m.timeouts += s.timeouts;
+    m.fast_retransmits += s.fast_retransmits;
+    rtt_sum += s.rtt_sum;
+    rtt_samples += s.rtt_samples;
+    min_rtt = std::min(min_rtt, s.min_rtt);
+  }
+  if (window_seconds > 0.0) {
+    m.throughput_bps = static_cast<double>(m.bytes_acked) * 8.0 /
+                       window_seconds;
+  }
+  if (m.bytes_sent > 0) {
+    m.retransmit_fraction = static_cast<double>(m.bytes_retransmitted) /
+                            static_cast<double>(m.bytes_sent);
+  }
+  if (rtt_samples > 0) m.mean_rtt = rtt_sum / static_cast<double>(rtt_samples);
+  m.min_rtt = min_rtt >= 1e9 ? 0.0 : min_rtt;
+  return m;
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,57 @@
+// An "application" in the Section 3.1 sense: a unit of experimentation that
+// opens one or more parallel TCP connections for a bulk transfer (browsers
+// and streaming clients open several). The unit-level outcome metrics
+// (throughput, retransmit fraction, RTTs) aggregate across the app's
+// connections, exactly as the paper's per-application boxplots do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/tcp/connection.h"
+
+namespace xp::sim {
+
+struct AppMetrics {
+  double throughput_bps = 0.0;       ///< goodput over the measurement window
+  double retransmit_fraction = 0.0;  ///< retransmitted / sent bytes
+  double mean_rtt = 0.0;
+  double min_rtt = 0.0;
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_retransmitted = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::size_t connections = 0;
+};
+
+class Application {
+ public:
+  Application(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+  /// Adopt a connection into this application.
+  void add_connection(std::unique_ptr<TcpConnection> connection);
+
+  /// Start every connection at its configured jittered time offset.
+  void start_all(const std::vector<Time>& offsets);
+
+  /// Zero the measurement counters (start of the measurement window).
+  void reset_stats();
+
+  /// Aggregate metrics; `window_seconds` is the measurement duration.
+  AppMetrics metrics(Time window_seconds) const;
+
+  std::vector<std::unique_ptr<TcpConnection>>& connections() noexcept {
+    return connections_;
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  std::vector<std::unique_ptr<TcpConnection>> connections_;
+};
+
+}  // namespace xp::sim

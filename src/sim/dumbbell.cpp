@@ -1,0 +1,102 @@
+#include "sim/dumbbell.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace xp::sim {
+
+DumbbellResult run_dumbbell(const DumbbellConfig& config,
+                            const std::vector<AppSpec>& specs) {
+  if (specs.empty()) {
+    throw std::invalid_argument("run_dumbbell: no applications");
+  }
+  if (config.warmup >= config.duration) {
+    throw std::invalid_argument("run_dumbbell: warmup must precede duration");
+  }
+
+  Simulator sim;
+  stats::Rng rng(config.seed);
+
+  const Time base_rtt = config.forward_delay + config.reverse_delay;
+  const auto buffer_bytes = static_cast<std::uint64_t>(
+      config.buffer_bdp_multiple * bdp_bytes(config.bottleneck_bps, base_rtt));
+
+  Link bottleneck(sim, config.bottleneck_bps, config.forward_delay,
+                  buffer_bytes, "bottleneck");
+
+  // Build applications and connections. Flow ids index a routing table.
+  std::vector<std::unique_ptr<Application>> apps;
+  std::vector<TcpConnection*> flows;  // flow id -> connection
+  for (std::size_t a = 0; a < specs.size(); ++a) {
+    const AppSpec& spec = specs[a];
+    auto app = std::make_unique<Application>(
+        sim, spec.label.empty() ? "app" + std::to_string(a) : spec.label);
+    for (std::size_t c = 0; c < spec.connections; ++c) {
+      ConnectionConfig conn_config;
+      conn_config.id = static_cast<FlowId>(flows.size());
+      conn_config.algorithm = spec.algorithm;
+      conn_config.pacing = spec.pacing;
+      conn_config.mss_bytes = config.mss_bytes;
+      conn_config.header_bytes = config.header_bytes;
+      conn_config.reverse_delay = config.reverse_delay;
+      conn_config.min_rto = config.min_rto;
+      conn_config.ack_every = config.ack_every;
+      auto conn = std::make_unique<TcpConnection>(
+          sim, conn_config,
+          [&bottleneck](const Packet& p) { bottleneck.send(p); });
+      flows.push_back(conn.get());
+      app->add_connection(std::move(conn));
+    }
+    apps.push_back(std::move(app));
+  }
+
+  // Route delivered packets to the owning connection's receiver endpoint.
+  bottleneck.set_sink([&flows](const Packet& p) {
+    flows[p.flow]->on_data_at_receiver(p);
+  });
+
+  // Jittered starts decorrelate slow-start phases across connections.
+  for (auto& app : apps) {
+    std::vector<Time> offsets;
+    offsets.reserve(app->connections().size());
+    for (std::size_t c = 0; c < app->connections().size(); ++c) {
+      offsets.push_back(rng.uniform(0.0, config.start_jitter));
+    }
+    app->start_all(offsets);
+  }
+
+  // Warmup boundary: zero every counter so measurements reflect steady
+  // state, then measure until `duration`.
+  std::uint64_t drops_at_warmup = 0;
+  double util_busy_baseline = 0.0;
+  sim.schedule_at(config.warmup, [&]() {
+    for (auto& app : apps) app->reset_stats();
+    drops_at_warmup = bottleneck.queue().drops();
+    util_busy_baseline = bottleneck.utilization() * sim.now();
+  });
+
+  sim.run_until(config.duration);
+
+  const Time window = config.duration - config.warmup;
+  DumbbellResult result;
+  result.base_rtt = base_rtt;
+  result.buffer_bytes = buffer_bytes;
+  result.events_executed = sim.events_executed();
+  result.link_drops = bottleneck.queue().drops() - drops_at_warmup;
+  // Utilization over the measurement window only.
+  const double busy_total = bottleneck.utilization() * sim.now();
+  result.link_utilization = (busy_total - util_busy_baseline) / window;
+
+  for (auto& app : apps) {
+    DumbbellAppResult app_result;
+    app_result.metrics = app->metrics(window);
+    app_result.label = app->name();
+    result.aggregate_throughput_bps += app_result.metrics.throughput_bps;
+    result.apps.push_back(std::move(app_result));
+  }
+  return result;
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,74 @@
+// The lab topology of Section 3: N applications share one droptail
+// bottleneck (the paper: two servers through a Tofino switch at 10 Gb/s,
+// 1 BDP buffer, 1 ms added delay, 9000-byte MTU). The reverse (ACK) path
+// is uncongested and modeled as pure delay.
+//
+// `run_dumbbell` builds the world, runs warmup + measurement, and returns
+// per-application metrics plus bottleneck statistics. Experiment designs
+// treat each application (or each connection) as a unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/application.h"
+#include "sim/link.h"
+#include "sim/tcp/congestion_control.h"
+
+namespace xp::sim {
+
+struct DumbbellConfig {
+  Bps bottleneck_bps = 10e9;
+  /// One-way forward propagation delay (the paper adds 1 ms with tc).
+  Time forward_delay = 0.001;
+  /// One-way reverse (ACK) delay.
+  Time reverse_delay = 0.001;
+  /// Bottleneck buffer as a multiple of the bandwidth-delay product.
+  double buffer_bdp_multiple = 1.0;
+  /// MSS sized so MSS + header = 9000-byte jumbo frames, as in the lab.
+  std::uint32_t mss_bytes = 8948;
+  std::uint32_t header_bytes = 52;
+  /// Measurement starts after `warmup` and ends at `duration`.
+  Time warmup = 3.0;
+  Time duration = 13.0;
+  /// Connections start uniformly in [0, start_jitter) to avoid phase locks.
+  Time start_jitter = 0.25;
+  /// RTO floor: a few base RTTs. Compensates for cumulative-ACK-only
+  /// recovery (the lab hosts have SACK, which makes RTOs rare).
+  Time min_rto = 0.01;
+  /// Stretch-ACK factor. Real 10G receivers run GRO, which coalesces many
+  /// segments per ACK and makes unpaced senders bursty; 8 approximates it.
+  std::uint32_t ack_every = 8;
+  std::uint64_t seed = 1;
+};
+
+/// One experimental unit: an application and its transport configuration.
+struct AppSpec {
+  std::size_t connections = 1;
+  CcAlgorithm algorithm = CcAlgorithm::kReno;
+  bool pacing = false;
+  std::string label;
+};
+
+struct DumbbellAppResult {
+  AppMetrics metrics;
+  std::string label;
+};
+
+struct DumbbellResult {
+  std::vector<DumbbellAppResult> apps;
+  double link_utilization = 0.0;
+  std::uint64_t link_drops = 0;
+  double aggregate_throughput_bps = 0.0;
+  double base_rtt = 0.0;           ///< unloaded round-trip time
+  std::uint64_t buffer_bytes = 0;
+  std::uint64_t events_executed = 0;
+};
+
+/// Build and run the shared-bottleneck world. Deterministic for a given
+/// (config, specs) pair.
+DumbbellResult run_dumbbell(const DumbbellConfig& config,
+                            const std::vector<AppSpec>& specs);
+
+}  // namespace xp::sim

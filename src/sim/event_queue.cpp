@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace xp::sim {
+
+EventId EventQueue::schedule(Time at, Callback callback) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(callback)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_top();
+  return heap_.empty() ? kNoTime : heap_.top().at;
+}
+
+std::optional<EventQueue::Fired> EventQueue::try_pop() {
+  drop_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  const Entry& top = heap_.top();
+  Fired fired{top.at, top.id, std::move(top.callback)};
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace xp::sim

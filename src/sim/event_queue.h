@@ -1,0 +1,76 @@
+// Binary-heap event queue for the discrete-event simulator.
+//
+// Events at equal timestamps execute in scheduling order (FIFO by sequence
+// number), which keeps runs bit-for-bit deterministic — a requirement for
+// the experiment framework's reproducibility guarantees. Cancellation is
+// lazy: cancelled entries stay in the heap as tombstones and are skipped
+// when they reach the top.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace xp::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `callback` at absolute time `at`. Returns a cancellation id.
+  EventId schedule(Time at, Callback callback);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (timers are routinely cancelled after firing).
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain. Prunes tombstones.
+  bool empty();
+
+  /// Upper bound on pending events (may count unexpired tombstones).
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Earliest live event time; kNoTime when empty. Prunes tombstones.
+  Time next_time();
+
+  struct Fired {
+    Time at;
+    EventId id;
+    Callback callback;
+  };
+
+  /// Pop the earliest live event, or nullopt when none remain.
+  std::optional<Fired> try_pop();
+
+  /// Total events ever scheduled (including later-cancelled ones).
+  std::uint64_t scheduled_count() const noexcept { return next_id_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventSeq seq;
+    EventId id;
+    // Mutable so try_pop() can move the callback out of the heap top.
+    mutable Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventSeq next_seq_ = 0;
+  EventId next_id_ = 0;
+};
+
+}  // namespace xp::sim

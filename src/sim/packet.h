@@ -1,0 +1,63 @@
+// The unit of transmission in the packet-level simulator.
+//
+// Packets are small value types copied through the pipeline (enqueue ->
+// serialize -> propagate -> deliver); no heap allocation per packet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace xp::sim {
+
+struct Packet {
+  FlowId flow = 0;
+  /// Sequence number in MSS-sized segments (cumulative-ACK space).
+  std::uint64_t seq = 0;
+  /// Wire size in bytes (payload + header overhead).
+  std::uint32_t size_bytes = 0;
+  /// Time the (possibly re-)transmission entered the network; echoed by the
+  /// receiver for RTT sampling.
+  Time sent_at = 0.0;
+  /// True when this is a retransmission (Karn: no RTT sample from these).
+  bool retransmit = false;
+  /// Receiver's delivered-segment count as last known by the sender at
+  /// transmit time; used for BBR-style delivery-rate samples. Receiver-side
+  /// counting is immune to the cumulative-ACK jump artifact (out-of-order
+  /// segments are counted when they arrive, not when a hole repair
+  /// cumulatively acknowledges them).
+  std::uint64_t delivered_at_send = 0;
+  /// Time of the sender's most recent delivered-count update at transmit.
+  Time delivered_time_at_send = 0.0;
+};
+
+/// Half-open range of segments [start, end) reported by a SACK block.
+struct SackRange {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+/// Cumulative acknowledgment flowing back to the sender.
+struct Ack {
+  FlowId flow = 0;
+  /// Next expected segment (all seq < ack_seq received).
+  std::uint64_t ack_seq = 0;
+  /// Selective acknowledgment blocks (RFC 2018 allows 3-4; we carry 4).
+  std::array<SackRange, 4> sack{};
+  std::uint8_t sack_count = 0;
+  /// Segment number being acknowledged (for dupACK bookkeeping).
+  std::uint64_t for_seq = 0;
+  /// Echo of Packet::sent_at (valid iff !echo_retransmit).
+  Time echo_sent_at = 0.0;
+  bool echo_retransmit = false;
+  std::uint64_t delivered_at_send = 0;
+  Time delivered_time_at_send = 0.0;
+  /// Receiver's count of distinct segments received so far (SACK-like
+  /// ground truth for delivery-rate estimation).
+  std::uint64_t rcv_delivered_segments = 0;
+  /// Receiver-observed arrival time of the acked segment.
+  Time arrived_at = 0.0;
+};
+
+}  // namespace xp::sim

@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <utility>
+
+namespace xp::sim {
+
+EventId Simulator::schedule_at(Time at, Callback callback) {
+  if (at < now_) at = now_;
+  return queue_.schedule(at, std::move(callback));
+}
+
+EventId Simulator::schedule_in(Time delay, Callback callback) {
+  if (delay < 0.0) delay = 0.0;
+  return queue_.schedule(now_ + delay, std::move(callback));
+}
+
+void Simulator::run_until(Time until) {
+  stopped_ = false;
+  while (!stopped_) {
+    const Time next = queue_.next_time();
+    if (next == kNoTime || next > until) break;
+    auto fired = queue_.try_pop();
+    if (!fired) break;
+    now_ = fired->at;
+    ++executed_;
+    fired->callback();
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  run_until(std::numeric_limits<Time>::max());
+}
+
+}  // namespace xp::sim

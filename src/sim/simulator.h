@@ -1,0 +1,52 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns the clock and the event queue. Components (links,
+// connections, applications) hold a reference to it and schedule callbacks.
+// Single-threaded by design: determinism matters more than parallelism for
+// experiment reproduction, and one scenario run is milliseconds-to-seconds
+// of CPU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace xp::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedule at an absolute time (clamped to `now` if in the past).
+  EventId schedule_at(Time at, Callback callback);
+  /// Schedule `delay` seconds from now (negative delays clamp to zero).
+  EventId schedule_in(Time delay, Callback callback);
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run until the queue drains or the clock passes `until`.
+  /// Events at exactly `until` are executed.
+  void run_until(Time until);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Stop a run_until/run loop from inside a callback.
+  void stop() noexcept { stopped_ = true; }
+
+  std::uint64_t events_executed() const noexcept { return executed_; }
+  std::uint64_t events_scheduled() const noexcept {
+    return queue_.scheduled_count();
+  }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace xp::sim

@@ -1,0 +1,166 @@
+#include "sim/tcp/bbr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xp::sim {
+
+namespace {
+constexpr double kStartupGain = 2.885;  // 2/ln(2)
+constexpr double kDrainGain = 1.0 / 2.885;
+constexpr double kProbeBwGains[8] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr Time kMinRttWindow = 10.0;     // seconds
+constexpr Time kProbeRttDuration = 0.2;  // seconds
+constexpr double kProbeRttCwndPackets = 4.0;
+constexpr double kDefaultRtt = 0.1;      // pre-sample placeholder
+}  // namespace
+
+BbrCc::BbrCc(const CcConfig& config)
+    : config_(config),
+      bw_filter_(10.0 /* rounds, not seconds: round-counted filter */),
+      rtt_filter_(kMinRttWindow) {}
+
+double BbrCc::bottleneck_bw_bps() const noexcept {
+  // Fallback: initial window over the default RTT.
+  const double fallback = static_cast<double>(config_.initial_cwnd_packets) *
+                          config_.mss_bytes * 8.0 / kDefaultRtt;
+  return bw_filter_.get(fallback);
+}
+
+double BbrCc::min_rtt_s() const noexcept {
+  return rtt_filter_.get(kDefaultRtt);
+}
+
+double BbrCc::bdp_bytes_est() const noexcept {
+  return bottleneck_bw_bps() * min_rtt_s() / 8.0;
+}
+
+void BbrCc::update_round(const AckSample& sample) {
+  round_start_ = false;
+  if (sample.delivered_bytes >= next_round_delivered_) {
+    next_round_delivered_ = sample.delivered_bytes + sample.inflight_bytes;
+    ++round_count_;
+    round_start_ = true;
+  }
+}
+
+void BbrCc::check_full_pipe(Time /*now*/) {
+  if (full_pipe_ || !round_start_) return;
+  // Give the model a few rounds of feedback before judging growth; the
+  // first rounds are dominated by the initial-window burst.
+  if (round_count_ < 3) return;
+  const double bw = bottleneck_bw_bps();
+  if (bw > full_bw_ * 1.25) {
+    full_bw_ = bw;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= 3) full_pipe_ = true;
+}
+
+void BbrCc::advance_probe_bw_phase(Time now) {
+  if (now - phase_start_ >= min_rtt_s()) {
+    probe_bw_phase_ = (probe_bw_phase_ + 1) % 8;
+    phase_start_ = now;
+    pacing_gain_ = kProbeBwGains[probe_bw_phase_];
+  }
+}
+
+void BbrCc::maybe_enter_probe_rtt(Time now) {
+  if (state_ == State::kProbeRtt) return;
+  // If the min-RTT sample is stale, spend 200 ms near-empty to re-measure.
+  if (now - min_rtt_stamp_ > kMinRttWindow && min_rtt_stamp_ > 0.0) {
+    state_ = State::kProbeRtt;
+    probe_rtt_done_at_ = now + kProbeRttDuration;
+  }
+}
+
+void BbrCc::on_ack(const AckSample& sample) {
+  inflight_bytes_ = sample.inflight_bytes;
+  update_round(sample);
+  timeout_collapse_ = false;  // delivery resumed
+  if (conservation_ && round_count_ >= conservation_until_round_) {
+    conservation_ = false;
+  }
+
+  if (sample.rtt_s > 0.0) {
+    const double prior_min = rtt_filter_.get(1e9);
+    rtt_filter_.update(sample.rtt_s, sample.now);
+    if (sample.rtt_s <= prior_min) {
+      min_rtt_stamp_ = sample.now;
+      min_rtt_value_ = sample.rtt_s;
+    }
+  }
+  if (sample.delivery_rate_bps > 0.0) {
+    // Round-counted (not wall-clock) max filter, as in BBR proper: the
+    // model must survive retransmission-timeout stalls.
+    bw_filter_.update(sample.delivery_rate_bps,
+                      static_cast<Time>(round_count_));
+  }
+
+  switch (state_) {
+    case State::kStartup:
+      check_full_pipe(sample.now);
+      if (full_pipe_) {
+        state_ = State::kDrain;
+        pacing_gain_ = kDrainGain;
+        cwnd_gain_ = 2.0;
+      }
+      break;
+    case State::kDrain:
+      if (static_cast<double>(sample.inflight_bytes) <= bdp_bytes_est()) {
+        state_ = State::kProbeBw;
+        probe_bw_phase_ = 2;  // start in a cruise phase
+        phase_start_ = sample.now;
+        pacing_gain_ = kProbeBwGains[probe_bw_phase_];
+        cwnd_gain_ = 2.0;
+      }
+      break;
+    case State::kProbeBw:
+      advance_probe_bw_phase(sample.now);
+      maybe_enter_probe_rtt(sample.now);
+      break;
+    case State::kProbeRtt:
+      if (sample.now >= probe_rtt_done_at_) {
+        min_rtt_stamp_ = sample.now;
+        state_ = full_pipe_ ? State::kProbeBw : State::kStartup;
+        pacing_gain_ = full_pipe_ ? kProbeBwGains[probe_bw_phase_]
+                                  : kStartupGain;
+        cwnd_gain_ = full_pipe_ ? 2.0 : kStartupGain;
+      }
+      break;
+  }
+}
+
+void BbrCc::on_loss(Time /*now*/) {
+  // BBRv1 does not reduce its *model* on loss — that blindness is what
+  // lets it outcompete loss-based algorithms in shallow buffers (the
+  // Section 3.3 phenomenon) — but it does observe packet conservation for
+  // one round of fast recovery.
+  conservation_ = true;
+  conservation_until_round_ = round_count_ + 1;
+  conservation_cwnd_ =
+      std::max(static_cast<double>(inflight_bytes_), 4.0 * config_.mss_bytes);
+}
+
+void BbrCc::on_timeout(Time /*now*/) {
+  // Keep the path model (the windowed filters age out stale samples), but
+  // collapse the window until delivery resumes, as the BBR draft does.
+  timeout_collapse_ = true;
+}
+
+double BbrCc::cwnd_bytes() const {
+  const double mss = config_.mss_bytes;
+  if (timeout_collapse_) return 4.0 * mss;
+  if (state_ == State::kProbeRtt) return kProbeRttCwndPackets * mss;
+  double target = std::max(cwnd_gain_ * bdp_bytes_est(), 4.0 * mss);
+  if (conservation_) target = std::min(target, conservation_cwnd_);
+  return target;
+}
+
+double BbrCc::pacing_rate_bps(double /*srtt_s*/) const {
+  return std::max(pacing_gain_ * bottleneck_bw_bps(), 1e3);
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,109 @@
+#include "sim/tcp/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xp::sim {
+
+namespace {
+constexpr double kCubicC = 0.4;     // growth constant (segments/sec^3 units)
+constexpr double kCubicBeta = 0.7;  // multiplicative decrease factor
+}  // namespace
+
+CubicCc::CubicCc(const CcConfig& config)
+    : config_(config),
+      cwnd_(static_cast<double>(config.initial_cwnd_packets) *
+            config.mss_bytes),
+      ssthresh_(std::numeric_limits<double>::infinity()),
+      min_cwnd_(2.0 * config.mss_bytes) {}
+
+double CubicCc::cubic_target(double t) const noexcept {
+  // RFC 8312 computes in segments; convert via MSS.
+  const double mss = config_.mss_bytes;
+  const double w_max_seg = w_max_ / mss;
+  const double dt = t - k_;
+  const double target_seg = kCubicC * dt * dt * dt + w_max_seg;
+  return target_seg * mss;
+}
+
+void CubicCc::on_ack(const AckSample& sample) {
+  if (sample.rtt_s > 0.0) srtt_cache_ = sample.rtt_s;
+  const auto acked = static_cast<double>(sample.newly_acked_bytes);
+  const double mss = config_.mss_bytes;
+
+  if (sample.rtt_s > 0.0) {
+    if (min_rtt_ == 0.0 || sample.rtt_s < min_rtt_) min_rtt_ = sample.rtt_s;
+  }
+  if (in_slow_start()) {
+    // HyStart (default-on in Linux Cubic): delay-based slow-start exit.
+    if (min_rtt_ > 0.0 && sample.rtt_s > 1.5 * min_rtt_ &&
+        cwnd_ > 16.0 * config_.mss_bytes) {
+      ssthresh_ = cwnd_;
+      return;
+    }
+    cwnd_ += acked;
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    return;
+  }
+
+  if (epoch_start_ == kNoTime) {
+    epoch_start_ = sample.now;
+    if (w_max_ < cwnd_) {
+      w_max_ = cwnd_;
+      k_ = 0.0;
+    } else {
+      k_ = std::cbrt((w_max_ / mss) * (1.0 - kCubicBeta) / kCubicC);
+    }
+    w_est_ = cwnd_;
+  }
+
+  const double t = sample.now - epoch_start_;
+  const double target = cubic_target(t);
+
+  // TCP-friendly region: emulate Reno's AIMD average rate (RFC 8312 4.2).
+  const double rtt = srtt_cache_ > 0.0 ? srtt_cache_ : 0.1;
+  w_est_ += mss * (3.0 * (1.0 - kCubicBeta) / (1.0 + kCubicBeta)) *
+            acked / cwnd_;
+  const double friendly = w_est_;
+
+  double next = cwnd_;
+  if (target > cwnd_) {
+    // Approach the cubic target over one RTT.
+    next = cwnd_ + (target - cwnd_) * acked / cwnd_;
+  } else {
+    // Plateau region: very slow growth.
+    next = cwnd_ + mss * 0.01 * acked / cwnd_;
+  }
+  cwnd_ = std::max(next, friendly);
+  (void)rtt;
+}
+
+void CubicCc::on_loss(Time /*now*/) {
+  epoch_start_ = kNoTime;
+  // Fast convergence: release bandwidth when the window is still shrinking.
+  if (cwnd_ < w_max_) {
+    w_max_ = cwnd_ * (2.0 - kCubicBeta) / 2.0;
+  } else {
+    w_max_ = cwnd_;
+  }
+  cwnd_ = std::max(cwnd_ * kCubicBeta, min_cwnd_);
+  ssthresh_ = cwnd_;
+}
+
+void CubicCc::on_timeout(Time /*now*/) {
+  epoch_start_ = kNoTime;
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * kCubicBeta, min_cwnd_);
+  cwnd_ = static_cast<double>(config_.mss_bytes);
+}
+
+double CubicCc::pacing_rate_bps(double srtt_s) const {
+  if (srtt_s <= 0.0) return std::numeric_limits<double>::infinity();
+  const double gain = in_slow_start()
+                          ? config_.pacing_gain_slow_start
+                          : config_.pacing_gain_congestion_avoidance;
+  return gain * cwnd_ * 8.0 / srtt_s;
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,55 @@
+#include "sim/tcp/reno.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace xp::sim {
+
+RenoCc::RenoCc(const CcConfig& config)
+    : config_(config),
+      cwnd_(static_cast<double>(config.initial_cwnd_packets) *
+            config.mss_bytes),
+      ssthresh_(std::numeric_limits<double>::infinity()),
+      min_cwnd_(2.0 * config.mss_bytes) {}
+
+void RenoCc::on_ack(const AckSample& sample) {
+  const auto acked = static_cast<double>(sample.newly_acked_bytes);
+  if (sample.rtt_s > 0.0) {
+    if (min_rtt_ == 0.0 || sample.rtt_s < min_rtt_) min_rtt_ = sample.rtt_s;
+  }
+  if (in_slow_start()) {
+    // HyStart-style delay-based exit (Linux's default): leave slow start
+    // when queueing delay shows the pipe is full, instead of overshooting
+    // a deep buffer until mass loss.
+    if (min_rtt_ > 0.0 && sample.rtt_s > 1.5 * min_rtt_ &&
+        cwnd_ > 16.0 * config_.mss_bytes) {
+      ssthresh_ = cwnd_;
+      return;
+    }
+    cwnd_ += acked;  // one MSS per acked MSS
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+  } else {
+    // Additive increase: one MSS per window's worth of ACKed data.
+    cwnd_ += static_cast<double>(config_.mss_bytes) * acked / cwnd_;
+  }
+}
+
+void RenoCc::on_loss(Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, min_cwnd_);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::on_timeout(Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, min_cwnd_);
+  cwnd_ = static_cast<double>(config_.mss_bytes);
+}
+
+double RenoCc::pacing_rate_bps(double srtt_s) const {
+  if (srtt_s <= 0.0) return std::numeric_limits<double>::infinity();
+  const double gain = in_slow_start()
+                          ? config_.pacing_gain_slow_start
+                          : config_.pacing_gain_congestion_avoidance;
+  return gain * cwnd_ * 8.0 / srtt_s;
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,38 @@
+#include "sim/tcp/rtt_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xp::sim {
+
+void RttEstimator::add_sample(Time rtt) noexcept {
+  if (rtt <= 0.0) return;
+  latest_ = rtt;
+  min_rtt_ = std::min(min_rtt_, rtt);
+  if (samples_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2.0;
+  } else {
+    constexpr double kAlpha = 1.0 / 8.0;
+    constexpr double kBeta = 1.0 / 4.0;
+    rttvar_ = (1.0 - kBeta) * rttvar_ + kBeta * std::fabs(srtt_ - rtt);
+    srtt_ = (1.0 - kAlpha) * srtt_ + kAlpha * rtt;
+  }
+  ++samples_;
+}
+
+Time RttEstimator::rto() const noexcept {
+  const Time base =
+      samples_ == 0 ? 1.0 : srtt_ + std::max(4.0 * rttvar_, 1e-4);
+  const Time scaled = base * static_cast<Time>(1 << backoff_exponent_);
+  return std::clamp(scaled, min_rto_, max_rto_);
+}
+
+void RttEstimator::backoff() noexcept {
+  // Capped lower than RFC 6298's 2^10: in simulation, minutes-long RTO
+  // stalls just freeze a flow for the whole measurement window, which is
+  // a harsher artifact than a slightly eager retry.
+  if (backoff_exponent_ < 6) ++backoff_exponent_;
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,44 @@
+// RFC 6298-style smoothed RTT estimation and retransmission timeout
+// computation (with Karn's rule applied by the caller: no samples from
+// retransmitted segments).
+#pragma once
+
+#include "sim/types.h"
+
+namespace xp::sim {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(Time min_rto = 0.2, Time max_rto = 60.0) noexcept
+      : min_rto_(min_rto), max_rto_(max_rto) {}
+
+  /// Feed one RTT measurement (seconds).
+  void add_sample(Time rtt) noexcept;
+
+  bool has_sample() const noexcept { return samples_ > 0; }
+  Time smoothed_rtt() const noexcept { return srtt_; }
+  Time rtt_variance() const noexcept { return rttvar_; }
+  Time min_rtt() const noexcept { return min_rtt_; }
+  Time latest_rtt() const noexcept { return latest_; }
+  std::uint64_t sample_count() const noexcept { return samples_; }
+
+  /// Current retransmission timeout, including exponential backoff.
+  Time rto() const noexcept;
+
+  /// Double the timeout after a retransmission timeout fires (capped).
+  void backoff() noexcept;
+  /// Reset backoff after an ACK of new data.
+  void reset_backoff() noexcept { backoff_exponent_ = 0; }
+
+ private:
+  Time min_rto_;
+  Time max_rto_;
+  Time srtt_ = 0.0;
+  Time rttvar_ = 0.0;
+  Time min_rtt_ = 1e9;
+  Time latest_ = 0.0;
+  std::uint64_t samples_ = 0;
+  int backoff_exponent_ = 0;
+};
+
+}  // namespace xp::sim

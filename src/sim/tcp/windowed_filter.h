@@ -1,0 +1,73 @@
+// Time-windowed max/min filters, as used by BBR for its bottleneck-
+// bandwidth (windowed max) and min-RTT (windowed min) estimators.
+// Monotone-deque implementation: O(1) amortized per update.
+#pragma once
+
+#include <deque>
+
+#include "sim/types.h"
+
+namespace xp::sim {
+
+template <typename Compare>
+class WindowedFilter {
+ public:
+  explicit WindowedFilter(Time window) noexcept : window_(window) {}
+
+  void set_window(Time window) noexcept { window_ = window; }
+  Time window() const noexcept { return window_; }
+
+  void update(double value, Time now) {
+    // Evict samples outside the window.
+    while (!samples_.empty() && samples_.front().at < now - window_) {
+      samples_.pop_front();
+    }
+    // Maintain monotonicity: drop samples this one dominates.
+    while (!samples_.empty() && !Compare{}(samples_.back().value, value)) {
+      samples_.pop_back();
+    }
+    samples_.push_back({value, now});
+  }
+
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Current extreme within the window; `fallback` when empty.
+  double get(double fallback = 0.0) const noexcept {
+    return samples_.empty() ? fallback : samples_.front().value;
+  }
+
+  /// Expire old samples without adding a new one.
+  void advance(Time now) {
+    while (!samples_.empty() && samples_.front().at < now - window_) {
+      samples_.pop_front();
+    }
+  }
+
+  void reset() { samples_.clear(); }
+
+ private:
+  struct Sample {
+    double value;
+    Time at;
+  };
+  Time window_;
+  std::deque<Sample> samples_;
+};
+
+struct KeepIfGreater {
+  bool operator()(double kept, double candidate) const noexcept {
+    return kept > candidate;
+  }
+};
+struct KeepIfLess {
+  bool operator()(double kept, double candidate) const noexcept {
+    return kept < candidate;
+  }
+};
+
+/// Windowed maximum (BBR bottleneck bandwidth).
+using MaxFilter = WindowedFilter<KeepIfGreater>;
+/// Windowed minimum (BBR min RTT).
+using MinFilter = WindowedFilter<KeepIfLess>;
+
+}  // namespace xp::sim

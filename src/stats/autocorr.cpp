@@ -1,0 +1,73 @@
+#include "stats/autocorr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace xp::stats {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
+  const std::size_t n = xs.size();
+  if (lag >= n || n < 2) return 0.0;
+  const double m = mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double d = xs[t] - m;
+    den += d * d;
+    if (t + lag < n) num += d * (xs[t + lag] - m);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  for (std::size_t l = 0; l <= max_lag; ++l) {
+    out.push_back(autocorrelation(xs, l));
+  }
+  return out;
+}
+
+std::vector<double> bartlett_weights(std::size_t max_lag) {
+  std::vector<double> w(max_lag + 1);
+  for (std::size_t l = 0; l <= max_lag; ++l) {
+    w[l] = 1.0 - static_cast<double>(l) / static_cast<double>(max_lag + 1);
+  }
+  return w;
+}
+
+double ljung_box_q(std::span<const double> xs, std::size_t max_lag) noexcept {
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 3 || max_lag == 0) return 0.0;
+  double q = 0.0;
+  for (std::size_t l = 1; l <= max_lag && l < xs.size(); ++l) {
+    const double r = autocorrelation(xs, l);
+    q += r * r / (n - static_cast<double>(l));
+  }
+  return n * (n + 2.0) * q;
+}
+
+std::vector<double> diff(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  std::vector<double> out(xs.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) out[i] = xs[i + 1] - xs[i];
+  return out;
+}
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty() || window == 0) return out;
+  const std::size_t half = window / 2;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(xs.size() - 1, i + half);
+    double total = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) total += xs[j];
+    out[i] = total / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace xp::stats

@@ -1,0 +1,32 @@
+// Time-series helpers: autocorrelation (to justify Newey-West lag choices)
+// and Bartlett weights. Hour-to-hour demand in the video substrate is
+// strongly autocorrelated, which is exactly why Appendix B uses HAC
+// standard errors with a two-hour lag.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xp::stats {
+
+/// Sample autocorrelation at a single lag (biased, normalized by n).
+double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept;
+
+/// Autocorrelation function for lags 0..max_lag inclusive.
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag);
+
+/// Bartlett kernel weights 1 - l/(L+1) for l = 0..L.
+std::vector<double> bartlett_weights(std::size_t max_lag);
+
+/// Ljung-Box Q statistic over lags 1..max_lag (large => autocorrelated).
+double ljung_box_q(std::span<const double> xs, std::size_t max_lag) noexcept;
+
+/// First-difference a series (x[i+1] - x[i]).
+std::vector<double> diff(std::span<const double> xs);
+
+/// Centered moving average with the given (odd) window; edges truncate.
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window);
+
+}  // namespace xp::stats

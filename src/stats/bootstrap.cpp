@@ -1,0 +1,66 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace xp::stats {
+
+namespace {
+
+std::vector<double> resample(std::span<const double> sample, Rng& rng) {
+  std::vector<double> out(sample.size());
+  for (auto& v : out) v = sample[rng.uniform_int(sample.size())];
+  return out;
+}
+
+BootstrapInterval summarize_replicates(double point,
+                                       std::vector<double>& replicates,
+                                       double confidence_level) {
+  std::sort(replicates.begin(), replicates.end());
+  const double alpha = 1.0 - confidence_level;
+  BootstrapInterval interval;
+  interval.point = point;
+  interval.low = quantile_sorted(replicates, alpha / 2.0);
+  interval.high = quantile_sorted(replicates, 1.0 - alpha / 2.0);
+  interval.std_error = stddev(replicates);
+  return interval;
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_ci(std::span<const double> sample,
+                               const Statistic& statistic, Rng& rng,
+                               std::size_t replicates,
+                               double confidence_level) {
+  if (sample.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    const std::vector<double> draw = resample(sample, rng);
+    stats.push_back(statistic(draw));
+  }
+  return summarize_replicates(statistic(sample), stats, confidence_level);
+}
+
+BootstrapInterval bootstrap_two_sample_ci(std::span<const double> a,
+                                          std::span<const double> b,
+                                          const TwoSampleStatistic& statistic,
+                                          Rng& rng, std::size_t replicates,
+                                          double confidence_level) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("bootstrap_two_sample_ci: empty sample");
+  }
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    const std::vector<double> draw_a = resample(a, rng);
+    const std::vector<double> draw_b = resample(b, rng);
+    stats.push_back(statistic(draw_a, draw_b));
+  }
+  return summarize_replicates(statistic(a, b), stats, confidence_level);
+}
+
+}  // namespace xp::stats

@@ -1,0 +1,45 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// Used for quantile treatment effects (where the delta method is awkward)
+// and as an independent check of the regression-based intervals in the
+// experiment analyses.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "stats/rng.h"
+
+namespace xp::stats {
+
+/// Percentile-bootstrap interval for a scalar statistic of one sample.
+struct BootstrapInterval {
+  double point = 0.0;   ///< statistic of the original sample
+  double low = 0.0;
+  double high = 0.0;
+  double std_error = 0.0;  ///< bootstrap standard deviation
+};
+
+/// Statistic of a single sample, e.g. the mean or a quantile.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Statistic contrasting two samples, e.g. difference in means.
+using TwoSampleStatistic =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+/// Percentile bootstrap for a one-sample statistic.
+BootstrapInterval bootstrap_ci(std::span<const double> sample,
+                               const Statistic& statistic, Rng& rng,
+                               std::size_t replicates = 1000,
+                               double confidence_level = 0.95);
+
+/// Percentile bootstrap for a two-sample contrast; resamples each group
+/// independently (appropriate for A/B cells).
+BootstrapInterval bootstrap_two_sample_ci(std::span<const double> a,
+                                          std::span<const double> b,
+                                          const TwoSampleStatistic& statistic,
+                                          Rng& rng,
+                                          std::size_t replicates = 1000,
+                                          double confidence_level = 0.95);
+
+}  // namespace xp::stats

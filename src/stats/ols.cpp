@@ -1,0 +1,199 @@
+#include "stats/ols.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "stats/distributions.h"
+
+namespace xp::stats {
+
+namespace {
+
+/// Bartlett-kernel HAC "meat": S = Gamma0 + sum_l w_l (Gamma_l + Gamma_l').
+Matrix newey_west_meat(const Matrix& x, std::span<const double> residuals,
+                       std::size_t lag) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  Matrix meat(k, k);
+
+  // Gamma_0 = sum_t e_t^2 x_t x_t'.
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto xt = x.row(t);
+    const double e2 = residuals[t] * residuals[t];
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        meat(i, j) += e2 * xt[i] * xt[j];
+      }
+    }
+  }
+  // Lag terms with Bartlett weights w_l = 1 - l/(L+1).
+  for (std::size_t l = 1; l <= lag && l < n; ++l) {
+    const double w = 1.0 - static_cast<double>(l) / static_cast<double>(lag + 1);
+    for (std::size_t t = l; t < n; ++t) {
+      const auto xt = x.row(t);
+      const auto xs = x.row(t - l);
+      const double ee = residuals[t] * residuals[t - l];
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+          // Gamma_l + Gamma_l^T contribution.
+          meat(i, j) += w * ee * (xt[i] * xs[j] + xs[i] * xt[j]);
+        }
+      }
+    }
+  }
+  return meat;
+}
+
+Matrix hc1_meat(const Matrix& x, std::span<const double> residuals) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  Matrix meat(k, k);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto xt = x.row(t);
+    const double e2 = residuals[t] * residuals[t];
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        meat(i, j) += e2 * xt[i] * xt[j];
+      }
+    }
+  }
+  const double scale =
+      static_cast<double>(n) / std::max(1.0, static_cast<double>(n - k));
+  return meat.scaled(scale);
+}
+
+}  // namespace
+
+OlsFit ols_fit(const Matrix& x, std::span<const double> y,
+               const OlsOptions& options) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  if (n != y.size()) {
+    throw std::invalid_argument("ols_fit: X rows must match y length");
+  }
+  if (n <= k) {
+    throw std::invalid_argument("ols_fit: need more observations than params");
+  }
+
+  // Normal equations. Design matrices here are tiny and well-scaled
+  // (indicator columns), so Cholesky on X'X is accurate and simple.
+  const Matrix xtx = x.gram();
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto xt = x.row(t);
+    for (std::size_t j = 0; j < k; ++j) xty[j] += xt[j] * y[t];
+  }
+  const std::vector<double> beta = solve_spd(xtx, xty);
+  const Matrix xtx_inv = inverse_spd(xtx);
+
+  OlsFit fit;
+  fit.n = n;
+  fit.k = k;
+  fit.df_residual = static_cast<double>(n - k);
+  fit.fitted.resize(n);
+  fit.residuals.resize(n);
+
+  double ssr = 0.0, sst = 0.0;
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const auto xt = x.row(t);
+    double pred = 0.0;
+    for (std::size_t j = 0; j < k; ++j) pred += xt[j] * beta[j];
+    fit.fitted[t] = pred;
+    fit.residuals[t] = y[t] - pred;
+    ssr += fit.residuals[t] * fit.residuals[t];
+    const double dev = y[t] - y_mean;
+    sst += dev * dev;
+  }
+  fit.sigma2 = ssr / fit.df_residual;
+  fit.r_squared = sst == 0.0 ? 1.0 : 1.0 - ssr / sst;
+
+  switch (options.covariance) {
+    case CovarianceType::kClassical:
+      fit.covariance = xtx_inv.scaled(fit.sigma2);
+      break;
+    case CovarianceType::kHC1: {
+      const Matrix meat = hc1_meat(x, fit.residuals);
+      fit.covariance = xtx_inv * meat * xtx_inv;
+      break;
+    }
+    case CovarianceType::kNeweyWest: {
+      const Matrix meat = newey_west_meat(x, fit.residuals,
+                                          options.newey_west_lag);
+      fit.covariance = xtx_inv * meat * xtx_inv;
+      break;
+    }
+  }
+
+  const double df = options.use_t_distribution ? fit.df_residual : 0.0;
+  const double crit = critical_value(options.confidence_level, df);
+  fit.coefficients.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    Coefficient& c = fit.coefficients[j];
+    c.estimate = beta[j];
+    const double var = std::max(0.0, fit.covariance(j, j));
+    c.std_error = std::sqrt(var);
+    c.t_stat = c.std_error > 0.0 ? c.estimate / c.std_error : 0.0;
+    c.p_value = c.std_error > 0.0 ? two_sided_p_value(c.t_stat, df) : 1.0;
+    c.ci_low = c.estimate - crit * c.std_error;
+    c.ci_high = c.estimate + crit * c.std_error;
+  }
+  return fit;
+}
+
+DesignBuilder& DesignBuilder::intercept() {
+  columns_.emplace_back();  // filled at build time once length is known
+  names_.emplace_back("(intercept)");
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::column(std::vector<double> values,
+                                     std::string_view name) {
+  columns_.push_back(std::move(values));
+  names_.emplace_back(name);
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::fixed_effects(std::span<const std::size_t> codes,
+                                            std::size_t levels,
+                                            std::string_view prefix) {
+  for (std::size_t level = 1; level < levels; ++level) {
+    std::vector<double> dummy(codes.size(), 0.0);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (codes[i] == level) dummy[i] = 1.0;
+    }
+    columns_.push_back(std::move(dummy));
+    names_.push_back(std::string(prefix) + "[" + std::to_string(level) + "]");
+  }
+  return *this;
+}
+
+Matrix DesignBuilder::build() const {
+  // Determine row count from the first non-empty column.
+  std::size_t n = 0;
+  for (const auto& col : columns_) {
+    if (!col.empty()) {
+      n = col.size();
+      break;
+    }
+  }
+  if (n == 0) throw std::invalid_argument("DesignBuilder: no data columns");
+  Matrix x(n, columns_.size());
+  for (std::size_t j = 0; j < columns_.size(); ++j) {
+    const auto& col = columns_[j];
+    if (col.empty()) {
+      for (std::size_t i = 0; i < n; ++i) x(i, j) = 1.0;  // intercept
+    } else {
+      if (col.size() != n) {
+        throw std::invalid_argument("DesignBuilder: column length mismatch");
+      }
+      for (std::size_t i = 0; i < n; ++i) x(i, j) = col[i];
+    }
+  }
+  return x;
+}
+
+}  // namespace xp::stats

@@ -1,0 +1,95 @@
+// Ordinary least squares with the covariance estimators the paper's
+// analysis pipeline uses (Appendix B):
+//
+//   Z_t(A) = c + beta0 * A + beta_t + eps
+//
+// fit by least squares with Newey-West HAC standard errors (lag 2) to
+// account for autocorrelation between successive hours and
+// heteroskedasticity. We also provide classical and HC1 covariance for the
+// account-level analyses and for Figure 13's aggregation comparison.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace xp::stats {
+
+/// Which sandwich to use for Var(beta_hat).
+enum class CovarianceType {
+  kClassical,  ///< sigma^2 (X'X)^-1
+  kHC1,        ///< White robust with n/(n-k) small-sample scaling
+  kNeweyWest,  ///< HAC with Bartlett kernel (needs observations in time order)
+};
+
+/// One fitted coefficient with its inference summary.
+struct Coefficient {
+  double estimate = 0.0;
+  double std_error = 0.0;
+  double t_stat = 0.0;
+  double p_value = 1.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+};
+
+/// Full OLS fit result.
+struct OlsFit {
+  std::vector<Coefficient> coefficients;
+  std::vector<double> residuals;
+  std::vector<double> fitted;
+  double r_squared = 0.0;
+  double sigma2 = 0.0;          ///< residual variance, SSR / (n - k)
+  std::size_t n = 0;            ///< observations
+  std::size_t k = 0;            ///< parameters
+  double df_residual = 0.0;     ///< n - k
+  Matrix covariance;            ///< Var(beta_hat), k x k
+};
+
+/// Options controlling the fit.
+struct OlsOptions {
+  CovarianceType covariance = CovarianceType::kClassical;
+  /// Newey-West truncation lag L. The paper uses a lag of two hours.
+  std::size_t newey_west_lag = 2;
+  /// Two-sided confidence level for per-coefficient intervals.
+  double confidence_level = 0.95;
+  /// Use Student-t critical values with n-k df (true) or normal (false).
+  bool use_t_distribution = true;
+};
+
+/// Fit y = X beta + eps by OLS.
+///
+/// `x` is the n-by-k design matrix (include the intercept column yourself or
+/// use DesignBuilder below). Throws std::invalid_argument on shape errors
+/// and std::domain_error when X'X is singular.
+OlsFit ols_fit(const Matrix& x, std::span<const double> y,
+               const OlsOptions& options = {});
+
+/// Convenience builder for design matrices with an intercept, a treatment
+/// indicator, and optional categorical fixed effects (hour-of-day dummies in
+/// the Appendix-B pipeline; the first level is dropped to avoid collinearity
+/// with the intercept).
+class DesignBuilder {
+ public:
+  /// Start a design with an intercept column.
+  DesignBuilder& intercept();
+  /// Append a numeric column.
+  DesignBuilder& column(std::vector<double> values, std::string_view name);
+  /// Append dummies for a categorical variable with `levels` levels,
+  /// dropping level 0. `codes[i]` in [0, levels).
+  DesignBuilder& fixed_effects(std::span<const std::size_t> codes,
+                               std::size_t levels, std::string_view prefix);
+
+  /// Materialize the design matrix. Throws if columns have differing length.
+  Matrix build() const;
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+ private:
+  std::vector<std::vector<double>> columns_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace xp::stats

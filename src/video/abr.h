@@ -1,0 +1,38 @@
+// Buffer-based adaptive bitrate selection (BBA-style, after Huang et al.,
+// the paper's reference [42]): the client maps its playback buffer level
+// to a ladder rung — a reservoir of low-rate safety at the bottom, a
+// linear cushion in the middle, and max rate once comfortable. A bitrate
+// cap (the Section 4 treatment) simply truncates the ladder.
+#pragma once
+
+#include "video/bitrate.h"
+
+namespace xp::video {
+
+struct AbrConfig {
+  /// Below the reservoir the client streams the lowest rung.
+  double reservoir_seconds = 10.0;
+  /// Above reservoir + cushion the client streams the highest rung.
+  double cushion_seconds = 50.0;
+  /// Throughput-based startup: first chunk uses min(this, ladder top).
+  double startup_bitrate = 1050e3;
+};
+
+class BufferBasedAbr {
+ public:
+  BufferBasedAbr(BitrateLadder ladder, AbrConfig config = {});
+
+  /// Rung for the current playback buffer level (seconds of video).
+  double select(double buffer_seconds) const noexcept;
+
+  /// Bitrate for the startup chunk (before playback begins).
+  double startup() const noexcept;
+
+  const BitrateLadder& ladder() const noexcept { return ladder_; }
+
+ private:
+  BitrateLadder ladder_;
+  AbrConfig config_;
+};
+
+}  // namespace xp::video

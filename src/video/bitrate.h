@@ -1,0 +1,48 @@
+// Bitrate ladders and perceptual-quality mapping for the video substrate.
+//
+// The ladder approximates a premium streaming service's encode ladder. The
+// bitrate-capping treatment (Section 4) truncates the ladder at a cap,
+// which is what reduced traffic ~25% during the COVID-19 capping program.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xp::video {
+
+/// An encode ladder: ascending bitrates in bits/second.
+class BitrateLadder {
+ public:
+  /// Default ladder (bits/s), 235 kb/s .. 16 Mb/s.
+  static BitrateLadder standard();
+
+  explicit BitrateLadder(std::vector<double> rungs);
+
+  std::span<const double> rungs() const noexcept { return rungs_; }
+  std::size_t size() const noexcept { return rungs_.size(); }
+  double lowest() const noexcept { return rungs_.front(); }
+  double highest() const noexcept { return rungs_.back(); }
+
+  /// Highest rung <= `bitrate_cap`; the lowest rung if the cap is below
+  /// everything (service always offers some stream).
+  double highest_at_most(double bitrate_cap) const noexcept;
+
+  /// Rung by index, clamped to the ladder.
+  double rung(std::size_t index) const noexcept;
+
+  /// Index of the highest rung <= value (0 when value < lowest).
+  std::size_t index_at_most(double value) const noexcept;
+
+  /// Return a copy of this ladder truncated at `cap` b/s (the treatment).
+  BitrateLadder capped(double cap) const;
+
+ private:
+  std::vector<double> rungs_;
+};
+
+/// Perceptual quality score in [0, 100] for a bitrate — a concave (log)
+/// curve, saturating at high rates like VMAF-style metrics do.
+double perceptual_quality(double bitrate_bps) noexcept;
+
+}  // namespace xp::video

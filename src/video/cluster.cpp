@@ -1,0 +1,148 @@
+#include "video/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace xp::video {
+
+namespace {
+
+double draw_device_ceiling(const DeviceMix& mix, stats::Rng& rng) {
+  const double u = rng.uniform();
+  if (u < mix.mobile_fraction) return mix.mobile_ceiling;
+  if (u < mix.mobile_fraction + mix.hd_fraction) return mix.hd_ceiling;
+  return mix.uhd_ceiling;
+}
+
+}  // namespace
+
+ClusterResult run_paired_links(const ClusterConfig& config) {
+  if (config.days <= 0.0 || config.tick_seconds <= 0.0) {
+    throw std::invalid_argument("run_paired_links: bad horizon/tick");
+  }
+
+  stats::Rng rng(config.seed);
+  const BitrateLadder ladder = BitrateLadder::standard();
+  FluidLink links[2] = {FluidLink(config.link), FluidLink(config.link)};
+  DemandModel demand(config.demand);
+
+  std::vector<std::unique_ptr<Session>> active[2];
+  ClusterResult result;
+  result.sessions.reserve(200000);
+
+  const double horizon = config.days * 86400.0;
+  const double dt = config.tick_seconds;
+  std::uint64_t next_session_id = 1;
+
+  // Hourly diagnostic accumulators.
+  const auto total_hours = static_cast<std::size_t>(horizon / 3600.0) + 1;
+  for (int l = 0; l < 2; ++l) {
+    result.hourly_utilization[l].assign(total_hours, 0.0);
+    result.hourly_rtt[l].assign(total_hours, 0.0);
+  }
+  std::vector<double> hourly_ticks(total_hours, 0.0);
+
+  std::vector<double> demands;
+  for (double t = 0.0; t < horizon; t += dt) {
+    // --- Arrivals (shared demand pool, hash-routed to a link) ---
+    const std::uint64_t n_arrivals = demand.draw_arrivals(t, dt, rng);
+    for (std::uint64_t a = 0; a < n_arrivals; ++a) {
+      const std::uint8_t link = rng.uniform() < config.link0_probability
+                                    ? std::uint8_t{0}
+                                    : std::uint8_t{1};
+      const bool treated = rng.bernoulli(config.treat_probability[link]);
+      const double ceiling = draw_device_ceiling(config.devices, rng);
+      const double effective_ceiling =
+          treated ? ceiling * config.cap_fraction : ceiling;
+      const double duration = demand.draw_duration(rng);
+      active[link].push_back(std::make_unique<Session>(
+          next_session_id, /*account=*/next_session_id, link, treated, t,
+          duration, ladder, config.abr, effective_ceiling, config.session,
+          rng));
+      ++next_session_id;
+      ++result.stats.sessions_started;
+    }
+
+    const auto hour_index = static_cast<std::size_t>(t / 3600.0);
+
+    // --- Per-link: allocate, advance, retire ---
+    for (int l = 0; l < 2; ++l) {
+      auto& sessions = active[l];
+      demands.resize(sessions.size());
+      double desired_load = 0.0;
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        demands[i] = sessions[i]->demand();
+        desired_load += sessions[i]->sustained_load();
+      }
+      const std::vector<double> alloc =
+          links[l].allocate_and_advance(demands, desired_load, dt);
+      const double rtt = links[l].rtt();
+      const double loss = links[l].loss_fraction();
+
+      // Spurious (content-driven) stalls, Poisson-thinned per session.
+      const double stall_prob =
+          config.spurious_rebuffer_per_hour[l] * dt / 3600.0;
+
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        sessions[i]->advance(dt, alloc[i], rtt, loss);
+        if (stall_prob > 0.0 &&
+            sessions[i]->state() == Session::State::kPlaying &&
+            rng.uniform() < stall_prob) {
+          sessions[i]->inject_spurious_rebuffer(rng.uniform(0.5, 3.0));
+        }
+      }
+
+      // Retire finished sessions (swap-erase keeps this O(1) per retire).
+      for (std::size_t i = 0; i < sessions.size();) {
+        if (sessions[i]->finished()) {
+          result.sessions.push_back(sessions[i]->finalize());
+          ++result.stats.sessions_completed;
+          sessions[i] = std::move(sessions.back());
+          sessions.pop_back();
+        } else {
+          ++i;
+        }
+      }
+
+      // Diagnostics.
+      result.stats.peak_concurrency[l] = std::max(
+          result.stats.peak_concurrency[l],
+          static_cast<double>(sessions.size()));
+      result.stats.peak_utilization[l] =
+          std::max(result.stats.peak_utilization[l],
+                   links[l].last_utilization());
+      result.stats.max_queueing_delay[l] = std::max(
+          result.stats.max_queueing_delay[l], links[l].queueing_delay());
+      if (hour_index < total_hours) {
+        result.hourly_utilization[l][hour_index] +=
+            links[l].last_utilization();
+        result.hourly_rtt[l][hour_index] += rtt;
+      }
+    }
+    if (hour_index < total_hours) hourly_ticks[hour_index] += 1.0;
+  }
+
+  // Finish hourly averages.
+  for (int l = 0; l < 2; ++l) {
+    for (std::size_t h = 0; h < total_hours; ++h) {
+      if (hourly_ticks[h] > 0.0) {
+        result.hourly_utilization[l][h] /= hourly_ticks[h];
+        result.hourly_rtt[l][h] /= hourly_ticks[h];
+      }
+    }
+  }
+
+  // Flush still-active sessions as completed-at-horizon records (their
+  // partial telemetry is valid; the paper's datasets do the same at the
+  // experiment boundary).
+  for (int l = 0; l < 2; ++l) {
+    for (auto& session : active[l]) {
+      result.sessions.push_back(session->finalize());
+    }
+  }
+  return result;
+}
+
+}  // namespace xp::video

@@ -1,0 +1,84 @@
+// The paired-link world of Section 4: two statistically similar clusters,
+// each with its own congested peering link, serving sessions from the same
+// demand pool. Each link runs its own (independent) Bernoulli treatment
+// allocation — 95% on link 1 and 5% on link 2 in the paper's main
+// experiment — which is what lets the analysis estimate TTE and spillover
+// while also computing two naive A/B estimates.
+//
+// run_paired_links() is the data-generating process; it returns one
+// SessionRecord per completed session. The experiment-design layer (core/)
+// consumes these rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "video/abr.h"
+#include "video/demand.h"
+#include "video/fluid_link.h"
+#include "video/session.h"
+#include "video/session_record.h"
+
+namespace xp::video {
+
+struct DeviceMix {
+  /// Fractions must sum to 1; ceilings in b/s.
+  double mobile_fraction = 0.40;
+  double mobile_ceiling = 1750e3;
+  double hd_fraction = 0.40;
+  double hd_ceiling = 5800e3;
+  double uhd_fraction = 0.20;
+  double uhd_ceiling = 16000e3;
+};
+
+struct ClusterConfig {
+  FluidLinkConfig link;
+  DemandConfig demand;
+  AbrConfig abr;
+  SessionParams session;
+  DeviceMix devices;
+
+  /// Treatment: multiply each session's bitrate ceiling by this factor
+  /// (resolution preserved, top encodes removed). 0.75 yields roughly the
+  /// ~25% traffic reduction the capping program measured, after ladder
+  /// rounding.
+  double cap_fraction = 0.75;
+
+  /// Per-link probability a session is assigned to treatment.
+  double treat_probability[2] = {0.95, 0.05};
+
+  /// Probability a session routes to link 0 (paper: 50.8% / 49.2%).
+  double link0_probability = 0.508;
+
+  /// Per-link rate of spurious (content-driven) playback stalls per
+  /// playing-hour — the pre-existing rebuffer imbalance of Section 4.1.
+  double spurious_rebuffer_per_hour[2] = {0.060, 0.050};
+
+  /// Horizon and integration step.
+  double days = 5.0;
+  double tick_seconds = 1.0;
+
+  std::uint64_t seed = 42;
+};
+
+struct ClusterRunStats {
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  double peak_concurrency[2] = {0.0, 0.0};
+  double peak_utilization[2] = {0.0, 0.0};
+  double max_queueing_delay[2] = {0.0, 0.0};
+};
+
+struct ClusterResult {
+  std::vector<SessionRecord> sessions;
+  ClusterRunStats stats;
+  /// Hourly mean of link RTT and utilization (diagnostics / Fig 6 inputs).
+  std::vector<double> hourly_utilization[2];
+  std::vector<double> hourly_rtt[2];
+};
+
+/// Run the paired-link world. Deterministic in (config).
+ClusterResult run_paired_links(const ClusterConfig& config);
+
+}  // namespace xp::video

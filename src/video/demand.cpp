@@ -1,0 +1,32 @@
+#include "video/demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xp::video {
+
+double DemandModel::arrival_rate(double t) const noexcept {
+  const std::uint32_t hour = hour_of(t);
+  const std::uint32_t day = day_of(t);
+  // Interpolate between hour shapes for a smooth curve.
+  const double within =
+      (t - std::floor(t / 3600.0) * 3600.0) / 3600.0;  // [0,1) into hour
+  const double a = config_.hourly_shape[hour];
+  const double b = config_.hourly_shape[(hour + 1) % 24];
+  double shape = a + (b - a) * within;
+  if (day % 7 >= 5) shape *= config_.weekend_multiplier;
+  return config_.peak_arrivals_per_second * shape;
+}
+
+std::uint64_t DemandModel::draw_arrivals(double t, double dt,
+                                         stats::Rng& rng) const {
+  return rng.poisson(arrival_rate(t) * dt);
+}
+
+double DemandModel::draw_duration(stats::Rng& rng) const {
+  const double draw =
+      rng.lognormal(config_.duration_log_mean, config_.duration_log_sd);
+  return std::clamp(draw, config_.min_duration, config_.max_duration);
+}
+
+}  // namespace xp::video

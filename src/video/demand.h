@@ -1,0 +1,71 @@
+// Diurnal session-arrival process.
+//
+// Demand follows the classic residential evening-peak curve: during peak
+// hours the links in Section 4 are "reliably congested", so the curve is
+// calibrated so offered load crosses link capacity for several hours a
+// day. Arrivals are Poisson with hourly rates; viewing durations are
+// log-normal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "stats/rng.h"
+
+namespace xp::video {
+
+struct DemandConfig {
+  /// Mean arrival rate (sessions/second) at the *peak* hour, across BOTH
+  /// links of the paired cluster (sessions hash-route ~50/50). With the
+  /// default viewing-duration distribution this yields ~430 concurrent
+  /// sessions per link at peak — ~1.33x link capacity of desired
+  /// consumption uncapped, ~0.96x capped.
+  double peak_arrivals_per_second = 0.30;
+  /// Hour-of-day multipliers, [0,1] relative to the peak hour.
+  /// Default: overnight trough, daytime ramp, 19:00-23:00 peak.
+  std::array<double, 24> hourly_shape = {
+      0.18, 0.12, 0.08, 0.06, 0.05, 0.06, 0.08, 0.12,   // 00-07
+      0.18, 0.25, 0.30, 0.35, 0.40, 0.42, 0.45, 0.50,   // 08-15
+      0.60, 0.72, 0.85, 0.95, 1.00, 0.98, 0.80, 0.45};  // 16-23
+  /// Weekend uplift applied to days 5 and 6 of each week.
+  double weekend_multiplier = 1.15;
+  /// Log-normal viewing duration: median ~28 min, heavy right tail.
+  double duration_log_mean = 7.45;   // exp(7.45) ~ 1720 s
+  double duration_log_sd = 0.8;
+  double min_duration = 120.0;
+  double max_duration = 4.0 * 3600.0;
+};
+
+class DemandModel {
+ public:
+  explicit DemandModel(const DemandConfig& config) : config_(config) {}
+
+  /// Arrival rate (sessions/second) at absolute time `t` seconds from the
+  /// start of day 0. Day length is 86400 s; day-of-week = day % 7.
+  double arrival_rate(double t) const noexcept;
+
+  /// Draw the number of arrivals in [t, t+dt).
+  std::uint64_t draw_arrivals(double t, double dt, stats::Rng& rng) const;
+
+  /// Draw a viewing duration (seconds).
+  double draw_duration(stats::Rng& rng) const;
+
+  const DemandConfig& config() const noexcept { return config_; }
+
+ private:
+  DemandConfig config_;
+};
+
+/// Hour-of-day (0-23) for an absolute simulation time.
+inline std::uint32_t hour_of(double t) noexcept {
+  const auto seconds_into_day =
+      static_cast<std::uint64_t>(t) % std::uint64_t{86400};
+  return static_cast<std::uint32_t>(seconds_into_day / 3600);
+}
+
+/// Day index (0-based) for an absolute simulation time.
+inline std::uint32_t day_of(double t) noexcept {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(t) / 86400);
+}
+
+}  // namespace xp::video

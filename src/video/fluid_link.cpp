@@ -1,0 +1,83 @@
+#include "video/fluid_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xp::video {
+
+std::vector<double> max_min_fair_allocation(std::span<const double> demands,
+                                            double capacity) {
+  std::vector<double> alloc(demands.size(), 0.0);
+  if (demands.empty() || capacity <= 0.0) return alloc;
+
+  // Water-filling over ascending demands.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a] < demands[b];
+  });
+
+  double remaining = capacity;
+  std::size_t left = demands.size();
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    const double fair = remaining / static_cast<double>(left);
+    const double grant = std::min(std::max(demands[i], 0.0), fair);
+    alloc[i] = grant;
+    remaining -= grant;
+    --left;
+  }
+  return alloc;
+}
+
+std::vector<double> FluidLink::allocate_and_advance(
+    std::span<const double> demands, double desired_load_bps, double dt) {
+  std::vector<double> alloc =
+      max_min_fair_allocation(demands, config_.capacity_bps);
+
+  const double delivered =
+      std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  last_utilization_ = delivered / config_.capacity_bps;
+
+  // Smooth the desired-load ratio, then relax the standing queue toward
+  // the level TCP would hold at that load: empty below rho_knee, full
+  // above rho_full, ramping in between.
+  const double instant_rho = desired_load_bps / config_.capacity_bps;
+  const double a_rho = std::min(1.0, dt / config_.rho_tau);
+  rho_ += a_rho * (instant_rho - rho_);
+
+  const double buffer_bytes =
+      config_.buffer_seconds * config_.capacity_bps / 8.0;
+  const double ramp = std::clamp(
+      (rho_ - config_.rho_knee) / (config_.rho_full - config_.rho_knee),
+      0.0, 1.0);
+  const double target = buffer_bytes * ramp;
+  const double a_q = std::min(1.0, dt / config_.queue_tau);
+  queue_bytes_ += a_q * (target - queue_bytes_);
+  queue_bytes_ = std::clamp(queue_bytes_, 0.0, buffer_bytes);
+  return alloc;
+}
+
+double FluidLink::queueing_delay() const noexcept {
+  return queue_bytes_ * 8.0 / config_.capacity_bps;
+}
+
+double FluidLink::rtt() const noexcept {
+  return config_.base_rtt + queueing_delay();
+}
+
+double FluidLink::occupancy() const noexcept {
+  const double buffer_bytes =
+      config_.buffer_seconds * config_.capacity_bps / 8.0;
+  return buffer_bytes <= 0.0 ? 0.0 : queue_bytes_ / buffer_bytes;
+}
+
+double FluidLink::loss_fraction() const noexcept {
+  const double x = occupancy();
+  if (x <= config_.loss_knee) return config_.base_loss;
+  const double t = (x - config_.loss_knee) / (1.0 - config_.loss_knee);
+  return config_.base_loss + (config_.max_loss - config_.base_loss) * t * t;
+}
+
+}  // namespace xp::video

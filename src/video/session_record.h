@@ -1,0 +1,42 @@
+// Per-session outcome record — the "row" of the experiment datasets.
+//
+// These mirror the client/server QoE telemetry Netflix collects (Section
+// 4.1): network metrics (throughput, min RTT, retransmits) and video QoE
+// (bitrate, perceptual quality, play delay, rebuffers, stability,
+// cancelled starts).
+#pragma once
+
+#include <cstdint>
+
+namespace xp::video {
+
+struct SessionRecord {
+  std::uint64_t session_id = 0;
+  std::uint64_t account_id = 0;
+  std::uint8_t link = 0;          ///< which peering link carried it (0/1)
+  bool treated = false;           ///< bitrate-capped?
+  std::uint32_t day = 0;          ///< simulation day (0-based)
+  std::uint32_t hour = 0;         ///< local hour-of-day at session start
+  double start_time = 0.0;        ///< seconds since simulation start
+  double duration = 0.0;          ///< viewing duration (seconds)
+
+  // --- Network metrics ---
+  double avg_throughput_bps = 0.0;   ///< delivered bytes*8 / active seconds
+  double min_rtt = 0.0;              ///< min RTT observed over the session
+  double mean_rtt = 0.0;
+  double retransmit_fraction = 0.0;  ///< retransmitted / sent bytes
+  double bytes_sent = 0.0;           ///< total wire bytes (incl. retx)
+
+  // --- Video QoE metrics ---
+  double play_delay = 0.0;           ///< startup latency (seconds)
+  bool cancelled_start = false;      ///< user abandoned before playback
+  double avg_bitrate_bps = 0.0;      ///< time-weighted selected bitrate
+  double perceptual_quality = 0.0;   ///< 0-100 quality score
+  std::uint32_t rebuffer_count = 0;
+  double rebuffer_seconds = 0.0;
+  bool had_rebuffer = false;
+  std::uint32_t bitrate_switches = 0;
+  double stability = 0.0;            ///< 1 / (1 + switches per minute)
+};
+
+}  // namespace xp::video

@@ -1,0 +1,218 @@
+// End-to-end integration: run the paired-link video world and check that
+// the full analysis stack reproduces the *structure* of the paper's
+// Section 4 findings; run the lab world through the gradual-deployment
+// machinery; exercise the emulated switchback/event-study designs.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/aa_test.h"
+#include "core/designs/event_study.h"
+#include "core/designs/paired_link.h"
+#include "core/designs/switchback.h"
+#include "core/session_metrics.h"
+#include "lab/scenarios.h"
+#include "video/cluster.h"
+
+namespace xp {
+namespace {
+
+// One shared 2-day experiment run (tests only need structure, not power).
+const video::ClusterResult& experiment_run() {
+  static const video::ClusterResult result = [] {
+    video::ClusterConfig config;
+    config.days = 2.0;
+    config.seed = 1234;
+    return video::run_paired_links(config);
+  }();
+  return result;
+}
+
+TEST(PairedLinkWorld, ProducesBalancedLinks) {
+  const auto& run = experiment_run();
+  EXPECT_GT(run.sessions.size(), 10000u);
+  std::size_t link0 = 0;
+  for (const auto& row : run.sessions) link0 += row.link == 0;
+  const double share =
+      static_cast<double>(link0) / static_cast<double>(run.sessions.size());
+  EXPECT_NEAR(share, 0.508, 0.02);
+}
+
+TEST(PairedLinkWorld, AllocationsMatchConfig) {
+  const auto& run = experiment_run();
+  std::size_t treated0 = 0, n0 = 0, treated1 = 0, n1 = 0;
+  for (const auto& row : run.sessions) {
+    if (row.link == 0) {
+      ++n0;
+      treated0 += row.treated;
+    } else {
+      ++n1;
+      treated1 += row.treated;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(treated0) / n0, 0.95, 0.01);
+  EXPECT_NEAR(static_cast<double>(treated1) / n1, 0.05, 0.01);
+}
+
+TEST(PairedLinkWorld, CappedLinkLessCongested) {
+  const auto& run = experiment_run();
+  // Peak-hour RTT on the mostly-capped link must be materially lower.
+  double peak0 = 0.0, peak1 = 0.0;
+  for (std::size_t h = 0; h < run.hourly_rtt[0].size(); ++h) {
+    peak0 = std::max(peak0, run.hourly_rtt[0][h]);
+    peak1 = std::max(peak1, run.hourly_rtt[1][h]);
+  }
+  EXPECT_LT(peak0, peak1 * 0.8);
+}
+
+TEST(PairedLinkAnalysis, SmokingGunStructure) {
+  const auto& run = experiment_run();
+  const core::PairedLinkReport report = core::analyze_paired_link(
+      run.sessions, core::Metric::kMinRtt);
+  // Within-link (naive) differences are tiny compared to the cross-link
+  // (TTE) difference: treatment and control share the queue.
+  const double within0 = std::fabs(report.cell_mean[0][1] -
+                                   report.cell_mean[0][0]);
+  const double within1 = std::fabs(report.cell_mean[1][1] -
+                                   report.cell_mean[1][0]);
+  const double across = std::fabs(report.cell_mean[0][1] -
+                                  report.cell_mean[1][0]);
+  EXPECT_LT(within0, 0.25 * across);
+  EXPECT_LT(within1, 0.25 * across);
+  // TTE: capping improves (reduces) min RTT by a large margin. (With only
+  // two days of data the conservative hourly Newey-West intervals may not
+  // clear 95% significance; the five-day benchmark run does.)
+  EXPECT_LT(report.tte.relative(), -0.15);
+  // Spillover: uncapped traffic on the capped link also improves.
+  EXPECT_LT(report.spillover.estimate, 0.0);
+}
+
+TEST(PairedLinkAnalysis, BitrateDropsRoughlyAQuarter) {
+  const auto& run = experiment_run();
+  const auto report = core::analyze_paired_link(
+      run.sessions, core::Metric::kBitrate);
+  EXPECT_LT(report.tte.relative(), -0.15);
+  EXPECT_GT(report.tte.relative(), -0.45);
+}
+
+TEST(PairedLinkAnalysis, AllMetricsProduceFiniteEstimates) {
+  const auto& run = experiment_run();
+  const auto reports = core::analyze_all_metrics(run.sessions);
+  EXPECT_EQ(reports.size(), std::size(core::kAllMetrics));
+  for (const auto& report : reports) {
+    EXPECT_TRUE(std::isfinite(report.tte.estimate))
+        << metric_name(report.metric);
+    EXPECT_TRUE(std::isfinite(report.spillover.std_error))
+        << metric_name(report.metric);
+    EXPECT_LE(report.tte.ci_low, report.tte.ci_high);
+  }
+}
+
+TEST(SelectAdapter, FiltersAndRelabels) {
+  const auto& run = experiment_run();
+  core::RowFilter filter;
+  filter.link = 0;
+  filter.treated = 1;
+  const auto obs = core::select(run.sessions, core::Metric::kThroughput,
+                                filter, /*relabel=*/0);
+  ASSERT_FALSE(obs.empty());
+  for (const auto& o : obs) EXPECT_FALSE(o.treated);
+}
+
+TEST(Switchback, EstimatesTteCloseToPairedLink) {
+  const auto& run = experiment_run();
+  const auto paired =
+      core::analyze_paired_link(run.sessions, core::Metric::kMinRtt);
+  core::SwitchbackOptions options;
+  options.day_treated = {true, false};  // 2-day run
+  const auto tte = core::switchback_tte(run.sessions,
+                                        core::Metric::kMinRtt, options);
+  // Same sign; magnitudes comparable (wide tolerance: 1 day per arm).
+  EXPECT_LT(tte.estimate, 0.0);
+  EXPECT_NEAR(tte.relative(), paired.tte.relative(), 0.35);
+}
+
+TEST(Switchback, RequiresAssignment) {
+  const auto& run = experiment_run();
+  core::SwitchbackOptions options;  // empty day_treated
+  EXPECT_THROW(core::switchback_tte(run.sessions, core::Metric::kMinRtt,
+                                    options),
+               std::invalid_argument);
+}
+
+TEST(EventStudy, EstimatesTteWithSign) {
+  const auto& run = experiment_run();
+  core::EventStudyOptions options;
+  options.switch_day = 1;  // day 0 control, day 1 treated
+  const auto tte = core::event_study_tte(run.sessions,
+                                         core::Metric::kMinRtt, options);
+  EXPECT_LT(tte.estimate, 0.0);
+}
+
+TEST(AaCalibration, LinkSimilarityDetectsRebufferImbalance) {
+  // Baseline world: both links all-control.
+  video::ClusterConfig config;
+  config.days = 2.0;
+  config.seed = 77;
+  config.treat_probability[0] = 0.0;
+  config.treat_probability[1] = 0.0;
+  const auto baseline = video::run_paired_links(config);
+  const auto rows = core::link_similarity(baseline.sessions);
+  EXPECT_EQ(rows.size(), std::size(core::kAllMetrics));
+  // Congestion metrics should NOT differ between identical links...
+  for (const auto& row : rows) {
+    if (row.metric == core::Metric::kMinRtt ||
+        row.metric == core::Metric::kBitrate) {
+      EXPECT_LT(std::fabs(row.difference.relative()), 0.10)
+          << metric_name(row.metric);
+    }
+  }
+}
+
+TEST(LabScenario, GradualDetectsParallelConnectionInterference) {
+  // Run at the paper's full 10 Gb/s scale: per-flow Reno shares are tight
+  // there, giving the SUTVA z-tests the power they have in the real lab.
+  lab::LabConfig config;
+  config.dumbbell.warmup = 2.0;
+  config.dumbbell.duration = 8.0;
+  const auto scenario = lab::make_lab_scenario(
+      lab::Treatment::kTwoConnections, lab::LabMetric::kThroughput, config);
+  core::GradualOptions options;
+  options.allocations = {0.2, 0.5, 0.8};
+  options.replications = 3;
+  const auto report = core::run_gradual_deployment(scenario, options);
+  ASSERT_EQ(report.steps.size(), 3u);
+  // Two connections look like a clear win in every A/B step...
+  for (const auto& step : report.steps) {
+    EXPECT_GT(step.tau.relative(), 0.2);
+  }
+  // ...and the apparent win shrinks as the allocation grows...
+  EXPECT_GT(report.steps.front().tau.estimate,
+            report.steps.back().tau.estimate);
+  // ...but TTE is ~0 (same aggregate capacity), and the SUTVA battery
+  // flags the interference.
+  EXPECT_NEAR(report.tte.relative(), 0.0, 0.25);
+  EXPECT_TRUE(report.tests.interference_detected);
+}
+
+TEST(LabSweep, ParallelConnectionsEndpointsEqual) {
+  lab::LabConfig config;
+  config.dumbbell.bottleneck_bps = 2e9;
+  config.dumbbell.warmup = 2.0;
+  config.dumbbell.duration = 8.0;
+  config.num_apps = 6;
+  const auto sweep =
+      lab::run_allocation_sweep(lab::Treatment::kTwoConnections, config);
+  ASSERT_EQ(sweep.size(), 7u);
+  // All-control vs all-treated aggregate throughput: no change (TTE = 0).
+  EXPECT_NEAR(sweep.front().aggregate_throughput,
+              sweep.back().aggregate_throughput,
+              0.1 * sweep.front().aggregate_throughput);
+  // Interior points: treated units beat control units.
+  for (std::size_t i = 1; i + 1 < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].mu_treated_throughput,
+              1.3 * sweep[i].mu_control_throughput);
+  }
+}
+
+}  // namespace
+}  // namespace xp

@@ -1,0 +1,298 @@
+// Video substrate: ladders, ABR, fluid link, demand, session state machine.
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+#include "video/abr.h"
+#include "video/bitrate.h"
+#include "video/demand.h"
+#include "video/fluid_link.h"
+#include "video/session.h"
+
+namespace xp::video {
+namespace {
+
+TEST(BitrateLadder, StandardIsAscending) {
+  const auto ladder = BitrateLadder::standard();
+  EXPECT_GE(ladder.size(), 10u);
+  EXPECT_DOUBLE_EQ(ladder.lowest(), 235e3);
+  EXPECT_DOUBLE_EQ(ladder.highest(), 16000e3);
+}
+
+TEST(BitrateLadder, HighestAtMost) {
+  const auto ladder = BitrateLadder::standard();
+  EXPECT_DOUBLE_EQ(ladder.highest_at_most(3000e3), 3000e3);
+  EXPECT_DOUBLE_EQ(ladder.highest_at_most(3100e3), 3000e3);
+  EXPECT_DOUBLE_EQ(ladder.highest_at_most(100e3), 235e3);  // floor rung
+  EXPECT_DOUBLE_EQ(ladder.highest_at_most(1e9), 16000e3);
+}
+
+TEST(BitrateLadder, CappedTruncates) {
+  const auto capped = BitrateLadder::standard().capped(2350e3);
+  EXPECT_DOUBLE_EQ(capped.highest(), 2350e3);
+  EXPECT_DOUBLE_EQ(capped.lowest(), 235e3);
+  const auto floor = BitrateLadder::standard().capped(1.0);
+  EXPECT_EQ(floor.size(), 1u);
+}
+
+TEST(BitrateLadder, RejectsBadLadders) {
+  EXPECT_THROW(BitrateLadder({}), std::invalid_argument);
+  EXPECT_THROW(BitrateLadder({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(PerceptualQuality, MonotoneAndBounded) {
+  double prev = -1.0;
+  for (double rate : {100e3, 235e3, 1e6, 4e6, 16e6, 50e6}) {
+    const double q = perceptual_quality(rate);
+    EXPECT_GT(q, prev);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 100.0);
+    prev = q;
+  }
+  EXPECT_DOUBLE_EQ(perceptual_quality(0.0), 0.0);
+}
+
+TEST(Abr, ReservoirStreamsLowest) {
+  BufferBasedAbr abr(BitrateLadder::standard());
+  EXPECT_DOUBLE_EQ(abr.select(0.0), 235e3);
+  EXPECT_DOUBLE_EQ(abr.select(9.9), 235e3);
+}
+
+TEST(Abr, TopOfCushionStreamsHighest) {
+  BufferBasedAbr abr(BitrateLadder::standard());
+  EXPECT_DOUBLE_EQ(abr.select(60.0), 16000e3);
+  EXPECT_DOUBLE_EQ(abr.select(300.0), 16000e3);
+}
+
+TEST(Abr, MonotoneInBuffer) {
+  BufferBasedAbr abr(BitrateLadder::standard());
+  double prev = 0.0;
+  for (double buffer = 0.0; buffer <= 70.0; buffer += 2.0) {
+    const double rate = abr.select(buffer);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Abr, CappedLadderNeverExceedsCap) {
+  BufferBasedAbr abr(BitrateLadder::standard().capped(3000e3));
+  for (double buffer = 0.0; buffer <= 100.0; buffer += 5.0) {
+    EXPECT_LE(abr.select(buffer), 3000e3);
+  }
+}
+
+TEST(MaxMinFair, EqualSplitWhenOversubscribed) {
+  const std::vector<double> demands{10.0, 10.0, 10.0, 10.0};
+  const auto alloc = max_min_fair_allocation(demands, 20.0);
+  for (double a : alloc) EXPECT_NEAR(a, 5.0, 1e-12);
+}
+
+TEST(MaxMinFair, SmallDemandsFullySatisfied) {
+  const std::vector<double> demands{1.0, 2.0, 100.0};
+  const auto alloc = max_min_fair_allocation(demands, 10.0);
+  EXPECT_NEAR(alloc[0], 1.0, 1e-12);
+  EXPECT_NEAR(alloc[1], 2.0, 1e-12);
+  EXPECT_NEAR(alloc[2], 7.0, 1e-12);
+}
+
+TEST(MaxMinFair, NeverExceedsCapacityOrDemand) {
+  xp::stats::Rng rng(3);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> demands(20);
+    for (auto& d : demands) d = rng.uniform(0.0, 10.0);
+    const double capacity = rng.uniform(1.0, 100.0);
+    const auto alloc = max_min_fair_allocation(demands, capacity);
+    double total = 0.0;
+    for (std::size_t i = 0; i < alloc.size(); ++i) {
+      EXPECT_LE(alloc[i], demands[i] + 1e-9);
+      total += alloc[i];
+    }
+    EXPECT_LE(total, capacity + 1e-6);
+  }
+}
+
+TEST(MaxMinFair, EmptyAndZeroCapacity) {
+  EXPECT_TRUE(max_min_fair_allocation({}, 10.0).empty());
+  const auto alloc = max_min_fair_allocation(std::vector<double>{5.0}, 0.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.0);
+}
+
+TEST(FluidLink, QueueBuildsUnderSustainedOverload) {
+  FluidLinkConfig config;
+  config.capacity_bps = 1e9;
+  FluidLink link(config);
+  const std::vector<double> demands{2e9};  // persistent 2x overload
+  for (int i = 0; i < 1200; ++i) {
+    link.allocate_and_advance(demands, 2e9, 1.0);
+  }
+  EXPECT_GT(link.queueing_delay(), 0.9 * config.buffer_seconds);
+  EXPECT_GT(link.rtt(), config.base_rtt + 0.9 * config.buffer_seconds);
+  EXPECT_GT(link.loss_fraction(), config.base_loss);
+}
+
+TEST(FluidLink, QueueDrainsWhenLoadRecedes) {
+  FluidLinkConfig config;
+  config.capacity_bps = 1e9;
+  FluidLink link(config);
+  for (int i = 0; i < 1200; ++i) {
+    link.allocate_and_advance(std::vector<double>{3e9}, 3e9, 1.0);
+  }
+  for (int i = 0; i < 1200; ++i) {
+    link.allocate_and_advance(std::vector<double>{1e8}, 1e8, 1.0);
+  }
+  EXPECT_LT(link.queueing_delay(), 0.02);
+  EXPECT_NEAR(link.loss_fraction(), config.base_loss, 1e-4);
+}
+
+TEST(FluidLink, NoQueueBelowKnee) {
+  FluidLinkConfig config;
+  config.capacity_bps = 1e9;
+  FluidLink link(config);
+  for (int i = 0; i < 600; ++i) {
+    link.allocate_and_advance(std::vector<double>{8e8}, 8e8, 1.0);
+  }
+  EXPECT_NEAR(link.queueing_delay(), 0.0, 1e-6);
+}
+
+TEST(FluidLink, LossMonotoneInOccupancy) {
+  FluidLinkConfig config;
+  FluidLink link(config);
+  double prev_loss = -1.0;
+  for (int i = 0; i < 40; ++i) {
+    link.allocate_and_advance(std::vector<double>{5e9}, 5e9, 10.0);
+    EXPECT_GE(link.loss_fraction(), prev_loss);
+    prev_loss = link.loss_fraction();
+  }
+}
+
+TEST(Demand, DiurnalShapePeaksInEvening) {
+  DemandModel model{DemandConfig{}};
+  const double peak = model.arrival_rate(20.0 * 3600.0);
+  const double trough = model.arrival_rate(4.0 * 3600.0);
+  EXPECT_GT(peak, 5.0 * trough);
+}
+
+TEST(Demand, WeekendUplift) {
+  DemandModel model{DemandConfig{}};
+  const double weekday = model.arrival_rate(2 * 86400.0 + 20.0 * 3600.0);
+  const double weekend = model.arrival_rate(5 * 86400.0 + 20.0 * 3600.0);
+  EXPECT_GT(weekend, weekday * 1.05);
+}
+
+TEST(Demand, DurationsWithinBounds) {
+  DemandModel model{DemandConfig{}};
+  xp::stats::Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const double d = model.draw_duration(rng);
+    EXPECT_GE(d, 120.0);
+    EXPECT_LE(d, 4.0 * 3600.0);
+  }
+}
+
+TEST(Demand, HourAndDayHelpers) {
+  EXPECT_EQ(hour_of(0.0), 0u);
+  EXPECT_EQ(hour_of(3600.0 * 25), 1u);
+  EXPECT_EQ(day_of(86400.0 * 3 + 5), 3u);
+}
+
+SessionParams fast_session_params() {
+  SessionParams params;
+  params.access_rate_sigma = 0.0;  // deterministic access for unit tests
+  return params;
+}
+
+Session make_session(xp::stats::Rng& rng, double ceiling = 16e6,
+                     double duration = 600.0) {
+  return Session(1, 1, 0, false, 0.0, duration, BitrateLadder::standard(),
+                 AbrConfig{}, ceiling, fast_session_params(), rng);
+}
+
+TEST(Session, StartsInStartupAndBeginsPlaying) {
+  xp::stats::Rng rng(1);
+  Session session = make_session(rng);
+  EXPECT_EQ(session.state(), Session::State::kStartup);
+  // Grant a generous rate: startup completes in the first ticks.
+  for (int i = 0; i < 5 && !0; ++i) {
+    session.advance(1.0, 20e6, 0.03, 0.0);
+  }
+  EXPECT_EQ(session.state(), Session::State::kPlaying);
+  const SessionRecord r = session.finalize();
+  EXPECT_GT(r.play_delay, 0.0);
+  EXPECT_LT(r.play_delay, 3.0);
+}
+
+TEST(Session, StarvedSessionCancels) {
+  xp::stats::Rng rng(2);
+  Session session = make_session(rng);
+  for (int i = 0; i < 120 && !session.finished(); ++i) {
+    session.advance(1.0, 1e3, 0.03, 0.0);  // 1 kb/s: hopeless
+  }
+  EXPECT_TRUE(session.finished());
+  EXPECT_TRUE(session.finalize().cancelled_start);
+}
+
+TEST(Session, RebuffersWhenRateCollapses) {
+  xp::stats::Rng rng(3);
+  Session session = make_session(rng);
+  for (int i = 0; i < 30; ++i) session.advance(1.0, 20e6, 0.03, 0.0);
+  EXPECT_EQ(session.state(), Session::State::kPlaying);
+  // Starve long enough to drain the buffer entirely.
+  for (int i = 0; i < 120; ++i) session.advance(1.0, 0.0, 0.03, 0.0);
+  const SessionRecord r = session.finalize();
+  EXPECT_GE(r.rebuffer_count, 1u);
+  EXPECT_TRUE(r.had_rebuffer);
+  EXPECT_GT(r.rebuffer_seconds, 0.0);
+}
+
+TEST(Session, CompletesAfterDuration) {
+  xp::stats::Rng rng(4);
+  Session session = make_session(rng, 16e6, 120.0);
+  for (int i = 0; i < 300 && !session.finished(); ++i) {
+    session.advance(1.0, 20e6, 0.03, 0.0);
+  }
+  EXPECT_TRUE(session.finished());
+  const SessionRecord r = session.finalize();
+  EXPECT_FALSE(r.cancelled_start);
+  EXPECT_NEAR(r.duration, 120.0, 2.0);
+  EXPECT_GT(r.avg_bitrate_bps, 235e3);
+}
+
+TEST(Session, MinRttTracksLowestSeen) {
+  xp::stats::Rng rng(5);
+  Session session = make_session(rng);
+  session.advance(1.0, 20e6, 0.050, 0.0);
+  session.advance(1.0, 20e6, 0.030, 0.0);
+  session.advance(1.0, 20e6, 0.200, 0.0);
+  EXPECT_DOUBLE_EQ(session.finalize().min_rtt, 0.030);
+}
+
+TEST(Session, LossShowsUpAsRetransmits) {
+  xp::stats::Rng rng(6);
+  Session session = make_session(rng);
+  for (int i = 0; i < 60; ++i) session.advance(1.0, 10e6, 0.03, 0.02);
+  const SessionRecord r = session.finalize();
+  EXPECT_GT(r.retransmit_fraction, 0.015);
+  EXPECT_LT(r.retransmit_fraction, 0.05);
+}
+
+TEST(Session, CappedCeilingLimitsBitrate) {
+  xp::stats::Rng rng(7);
+  Session session = make_session(rng, 1750e3, 300.0);
+  for (int i = 0; i < 400 && !session.finished(); ++i) {
+    session.advance(1.0, 50e6, 0.03, 0.0);
+  }
+  EXPECT_LE(session.finalize().avg_bitrate_bps, 1750e3 + 1.0);
+}
+
+TEST(Session, SpuriousRebufferInjection) {
+  xp::stats::Rng rng(8);
+  Session session = make_session(rng);
+  for (int i = 0; i < 20; ++i) session.advance(1.0, 20e6, 0.03, 0.0);
+  ASSERT_EQ(session.state(), Session::State::kPlaying);
+  session.inject_spurious_rebuffer(1.5);
+  const SessionRecord r = session.finalize();
+  EXPECT_EQ(r.rebuffer_count, 1u);
+  EXPECT_DOUBLE_EQ(r.rebuffer_seconds, 1.5);
+}
+
+}  // namespace
+}  // namespace xp::video
