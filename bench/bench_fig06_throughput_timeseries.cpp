@@ -52,8 +52,7 @@ int main() {
       "Figure 6 — hourly normalized throughput: baseline day vs "
       "experiment day");
 
-  const auto baseline = xp::bench::baseline_week(3.0);
-  const auto experiment = xp::bench::main_experiment(3.0);
+  const auto [baseline, experiment] = xp::bench::baseline_and_experiment(3.0);
 
   print_day(hourly_throughput(baseline.sessions, 1),
             "(a) baseline day: no capping anywhere — links overlap");

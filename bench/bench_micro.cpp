@@ -4,10 +4,16 @@
 // benches tractable.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/analysis.h"
+#include "lab/runner.h"
+#include "lab/scenarios.h"
 #include "sim/dumbbell.h"
+#include "sim/event_queue.h"
+#include "stats/bootstrap.h"
 #include "stats/descriptive.h"
 #include "stats/ols.h"
 #include "stats/rng.h"
@@ -66,6 +72,59 @@ void BM_MaxMinFairAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinFairAllocation)->Arg(100)->Arg(500);
 
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  // Steady-state event cycle at a fixed pending depth: one schedule + one
+  // pop per iteration. Zero heap allocations once warmed.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  xp::sim::EventQueue q;
+  double t = 0.0;
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.schedule(t += 1.0, [&sink] { ++sink; });
+  }
+  for (auto _ : state) {
+    q.schedule(t += 1.0, [&sink] { ++sink; });
+    q.try_pop()->callback();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(64)->Arg(1024);
+
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  // Timer churn, the RTO pattern: arm a timer, cancel it before it fires.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  xp::sim::EventQueue q;
+  double t = 0.0;
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.schedule(t += 1.0, [&sink] { ++sink; });
+  }
+  for (auto _ : state) {
+    q.cancel(q.schedule(t + 0.5, [&sink] { ++sink; }));
+    q.schedule(t += 1.0, [&sink] { ++sink; });
+    q.try_pop()->callback();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(64)->Arg(1024);
+
+void BM_EventQueueLargeCapture(benchmark::State& state) {
+  // The hottest real capture shape: [this, ack] is ~152 bytes, the reason
+  // SmallCallback's inline buffer is 160 bytes.
+  xp::sim::EventQueue q;
+  struct AckSized {
+    double payload[19];
+  } ack{};
+  double t = 0.0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    q.schedule(t += 1.0, [ack, &sink] { sink += ack.payload[0]; });
+    q.try_pop()->callback();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueLargeCapture);
+
 void BM_DumbbellSimSecond(benchmark::State& state) {
   // Cost of one simulated second of the 10-flow 2 Gb/s lab world.
   for (auto _ : state) {
@@ -94,6 +153,73 @@ void BM_HourlyAggregation(benchmark::State& state) {
 }
 BENCHMARK(BM_HourlyAggregation)->Unit(benchmark::kMillisecond);
 
+void BM_RunnerAllocationSweep(benchmark::State& state) {
+  // Wall-clock scaling of the Figure 2 sweep across thread counts; each
+  // point is an independent deterministic simulator run.
+  xp::lab::Runner runner(static_cast<std::size_t>(state.range(0)));
+  xp::lab::LabConfig config;
+  config.dumbbell.bottleneck_bps = 500e6;
+  config.dumbbell.warmup = 0.25;
+  config.dumbbell.duration = 1.0;
+  config.num_apps = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xp::lab::run_allocation_sweep(
+        xp::lab::Treatment::kTwoConnections, config, runner));
+  }
+}
+BENCHMARK(BM_RunnerAllocationSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_RunnerBootstrap(benchmark::State& state) {
+  xp::lab::Runner runner(static_cast<std::size_t>(state.range(0)));
+  xp::stats::Rng fill(3);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = fill.lognormal(0.0, 1.0);
+  const auto statistic = [](std::span<const double> s) {
+    return xp::stats::quantile(s, 0.95);
+  };
+  for (auto _ : state) {
+    xp::stats::Rng rng(9);
+    benchmark::DoNotOptimize(
+        xp::stats::bootstrap_ci(xs, statistic, rng, 200, 0.95, &runner));
+  }
+}
+BENCHMARK(BM_RunnerBootstrap)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default --benchmark_out so every run leaves a
+// machine-readable BENCH_micro.json behind (the perf trajectory is tracked
+// across PRs). An explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  bool has_format = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) {
+      has_format = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) args.push_back(out_flag.data());
+  if (!has_out && !has_format) args.push_back(format_flag.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

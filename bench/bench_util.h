@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
 
+#include "lab/runner.h"
 #include "video/cluster.h"
 
 namespace xp::bench {
@@ -37,6 +39,22 @@ inline video::ClusterResult baseline_week(double days = 5.0,
   config.treat_probability[0] = 0.0;
   config.treat_probability[1] = 0.0;
   return video::run_paired_links(config);
+}
+
+/// Baseline week and main experiment, fanned across cores. Both worlds are
+/// independent and deterministic in their own seeds, so the pair is
+/// identical to two serial runs at any thread count.
+inline std::pair<video::ClusterResult, video::ClusterResult>
+baseline_and_experiment(double days = 5.0) {
+  std::pair<video::ClusterResult, video::ClusterResult> results;
+  lab::global_runner().parallel_for(2, [&](std::size_t i) {
+    if (i == 0) {
+      results.first = baseline_week(days);
+    } else {
+      results.second = main_experiment(days);
+    }
+  });
+  return results;
 }
 
 }  // namespace xp::bench

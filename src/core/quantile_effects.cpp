@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "lab/runner.h"
 #include "stats/bootstrap.h"
 #include "stats/descriptive.h"
 
@@ -45,16 +46,15 @@ EffectEstimate quantile_treatment_effect(
 std::vector<QuantileEffectRow> quantile_effect_ladder(
     std::span<const Observation> rows, std::span<const double> quantiles,
     const QuantileEffectOptions& options) {
-  std::vector<QuantileEffectRow> ladder;
-  ladder.reserve(quantiles.size());
-  QuantileEffectOptions step = options;
-  for (double q : quantiles) {
-    ++step.seed;  // independent bootstrap streams per quantile
-    QuantileEffectRow row;
-    row.quantile = q;
-    row.effect = quantile_treatment_effect(rows, q, step);
-    ladder.push_back(row);
-  }
+  // Rungs are independent bootstraps with index-derived seeds, so the
+  // runner can fan them out; the ladder is identical at any thread count.
+  std::vector<QuantileEffectRow> ladder(quantiles.size());
+  lab::global_runner().parallel_for(quantiles.size(), [&](std::size_t i) {
+    QuantileEffectOptions step = options;
+    step.seed = options.seed + i + 1;  // independent streams per quantile
+    ladder[i].quantile = quantiles[i];
+    ladder[i].effect = quantile_treatment_effect(rows, quantiles[i], step);
+  });
   return ladder;
 }
 

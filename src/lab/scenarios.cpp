@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "lab/runner.h"
+
 namespace xp::lab {
 
 const char* treatment_name(Treatment treatment) noexcept {
@@ -94,8 +96,18 @@ LabRun run_lab(Treatment treatment, std::size_t treated_count,
 
 std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
                                              const LabConfig& config) {
-  std::vector<SweepPoint> sweep;
-  for (std::size_t treated = 0; treated <= config.num_apps; ++treated) {
+  return run_allocation_sweep(treatment, config, global_runner());
+}
+
+std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
+                                             const LabConfig& config,
+                                             Runner& runner) {
+  // Every sweep point is an independent simulator instance with its own
+  // deterministic seed, so the runner can fan them across cores; results
+  // land in index-addressed slots, making the output bit-for-bit identical
+  // to a serial run at any thread count.
+  std::vector<SweepPoint> sweep(config.num_apps + 1);
+  runner.parallel_for(sweep.size(), [&](std::size_t treated) {
     LabConfig point_config = config;
     point_config.seed = config.seed + treated * 7919;
     const LabRun run = run_lab(treatment, treated, point_config);
@@ -125,8 +137,8 @@ std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
       point.mu_control_throughput /= nc;
       point.mu_control_retransmit /= nc;
     }
-    sweep.push_back(point);
-  }
+    sweep[treated] = point;
+  });
   return sweep;
 }
 

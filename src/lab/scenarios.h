@@ -10,6 +10,7 @@
 
 #include "core/designs/gradual.h"
 #include "core/observation.h"
+#include "lab/runner.h"
 #include "sim/dumbbell.h"
 
 namespace xp::lab {
@@ -59,8 +60,15 @@ struct SweepPoint {
 };
 
 /// Sweep the treated-app count 0..num_apps (the full Figure 2/3 series).
+/// Points fan across the process-wide runner; output is bit-for-bit
+/// identical at any thread count (each point owns a deterministic seed).
 std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
                                              const LabConfig& config);
+
+/// Same sweep on an explicit runner (tests pin 1 vs N threads with this).
+std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
+                                             const LabConfig& config,
+                                             Runner& runner);
 
 enum class LabMetric { kThroughput, kRetransmitFraction, kMeanRtt };
 

@@ -1,0 +1,122 @@
+// Small-buffer-optimized callback for the event hot path.
+//
+// The steady-state schedule/fire/cancel cycle must not touch the heap.
+// std::function's inline buffer (16 bytes on libstdc++) is far too small
+// for the simulator's captures — ACK delivery closes over `this` plus a
+// ~144-byte Ack — so every timer and packet event would allocate. This
+// type stores callables up to kInlineCapacity bytes inline and only boxes
+// larger ones on the heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xp::sim {
+
+/// Move-only type-erased `void()` callable with inline storage.
+class SmallCallback {
+ public:
+  /// Sized for the largest hot capture: `[this, ack]` in TcpConnection's
+  /// reverse path (8 + sizeof(Ack) = 152 bytes).
+  static constexpr std::size_t kInlineCapacity = 160;
+
+  SmallCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = &inline_invoke<Fn>;
+      manage_ = &inline_manage<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = &boxed_invoke<Fn>;
+      manage_ = &boxed_manage<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { steal(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      manage_(storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+ private:
+  using InvokeFn = void (*)(void*);
+  /// manage(dst, src): src != nullptr relocates src into dst (move-construct
+  /// then destroy src); src == nullptr destroys the callable at dst.
+  using ManageFn = void (*)(void*, void*);
+
+  void steal(SmallCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (invoke_ != nullptr) {
+      manage_(storage_, other.storage_);
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  template <typename Fn>
+  static void inline_invoke(void* s) {
+    (*std::launder(reinterpret_cast<Fn*>(s)))();
+  }
+  template <typename Fn>
+  static void inline_manage(void* dst, void* src) {
+    if (src != nullptr) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    } else {
+      std::launder(reinterpret_cast<Fn*>(dst))->~Fn();
+    }
+  }
+
+  template <typename Fn>
+  static void boxed_invoke(void* s) {
+    (**std::launder(reinterpret_cast<Fn**>(s)))();
+  }
+  template <typename Fn>
+  static void boxed_manage(void* dst, void* src) {
+    if (src != nullptr) {
+      // Relocating a heap box just moves the pointer (trivial destructor).
+      ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+    } else {
+      delete *std::launder(reinterpret_cast<Fn**>(dst));
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace xp::sim

@@ -1,46 +1,136 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace xp::sim {
 
-EventId EventQueue::schedule(Time at, Callback callback) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id, std::move(callback)});
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-void EventQueue::cancel(EventId id) {
-  if (id >= next_id_) return;
-  cancelled_.insert(id);
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  s.live_seq = 0;  // no entry carries seq 0, so stale handles never match
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+EventId EventQueue::schedule(Time at, Callback&& callback) {
+  const std::uint32_t seq = next_seq_;
+  next_seq_ = next_seq_ + 1 == 0 ? 1 : next_seq_ + 1;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.callback = std::move(callback);
+  s.live_seq = seq;
+  heap_.push_back(Entry{at, seq, slot});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  ++scheduled_;
+  return pack(seq, slot);
+}
+
+void EventQueue::cancel(EventId id) noexcept {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto seq = static_cast<std::uint32_t>(id >> 32);
+  if (seq == 0 || slot >= slots_.size() || slots_[slot].live_seq != seq) {
+    return;
+  }
+  slots_[slot].callback.reset();
+  release_slot(slot);
+  --live_;
+  // The heap entry remains as a stale-seq tombstone; it is dropped for
+  // free when it reaches the top, or swept wholesale by compact() if
+  // tombstones ever outnumber live events.
+  if (heap_.size() >= 64 && heap_.size() - live_ > live_) compact();
+}
+
+void EventQueue::compact() noexcept {
+  std::size_t w = 0;
+  for (const Entry& e : heap_) {
+    if (slots_[e.slot].live_seq == e.seq) heap_[w++] = e;
+  }
+  heap_.resize(w);
+  if (w > 1) {
+    for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down(i);
   }
 }
 
-bool EventQueue::empty() {
-  drop_cancelled_top();
-  return heap_.empty();
+void EventQueue::sift_up(std::size_t i) noexcept {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
 }
 
-Time EventQueue::next_time() {
-  drop_cancelled_top();
-  return heap_.empty() ? kNoTime : heap_.top().at;
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_top() noexcept {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::drop_dead_top() noexcept {
+  while (!heap_.empty() && slots_[heap_[0].slot].live_seq != heap_[0].seq) {
+    pop_top();
+  }
+}
+
+Time EventQueue::next_time() noexcept {
+  drop_dead_top();
+  return heap_.empty() ? kNoTime : heap_[0].at;
 }
 
 std::optional<EventQueue::Fired> EventQueue::try_pop() {
-  drop_cancelled_top();
+  drop_dead_top();
   if (heap_.empty()) return std::nullopt;
-  const Entry& top = heap_.top();
-  Fired fired{top.at, top.id, std::move(top.callback)};
-  heap_.pop();
+  const Entry top = heap_[0];
+  std::optional<Fired> fired(std::in_place, top.at, pack(top.seq, top.slot),
+                             std::move(slots_[top.slot].callback));
+  release_slot(top.slot);
+  --live_;
+  pop_top();
   return fired;
+}
+
+bool EventQueue::pop_until(Time limit, Time& at_out, Callback& out) {
+  drop_dead_top();
+  if (heap_.empty() || heap_[0].at > limit) return false;
+  const Entry top = heap_[0];
+  at_out = top.at;
+  out = std::move(slots_[top.slot].callback);
+  release_slot(top.slot);
+  --live_;
+  pop_top();
+  return true;
 }
 
 }  // namespace xp::sim

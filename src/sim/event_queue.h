@@ -1,42 +1,61 @@
-// Binary-heap event queue for the discrete-event simulator.
+// Cache-friendly event queue for the discrete-event simulator.
 //
-// Events at equal timestamps execute in scheduling order (FIFO by sequence
-// number), which keeps runs bit-for-bit deterministic — a requirement for
-// the experiment framework's reproducibility guarantees. Cancellation is
-// lazy: cancelled entries stay in the heap as tombstones and are skipped
-// when they reach the top.
+// Design (the engine's performance contract):
+//  - The heap is a 4-ary implicit heap of 16-byte POD entries
+//    {time, seq, slot}; a sift touches at most two cache lines per level
+//    and never moves callbacks. Events at equal timestamps execute in
+//    scheduling order (FIFO by sequence number, wrap-aware), keeping runs
+//    bit-for-bit deterministic — a requirement for the experiment
+//    framework's reproducibility guarantees.
+//  - Callbacks live in a slot table indexed by the heap entries. Slots are
+//    recycled through a free list, so the steady-state schedule/fire/cancel
+//    cycle performs zero heap allocations once the high-water mark is
+//    reached (SmallCallback keeps the callables themselves inline).
+//  - Handles are generation-tagged: an EventId packs {seq, slot}, and a
+//    slot remembers the seq of its currently-armed event. cancel()
+//    compares the handle's seq against the slot's, making cancellation
+//    O(1) without a hash set and making the old "cancel an already-fired
+//    id leaks a tombstone forever" failure mode structurally impossible —
+//    a stale handle simply never matches. Cancelled entries left in the
+//    heap carry a stale seq and are discarded for free at the top.
+//    (The 32-bit tag would ABA only if a handle were retained across
+//    exactly 2^32 intervening schedules — never in practice.)
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/types.h"
 
 namespace xp::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
-  /// Schedule `callback` at absolute time `at`. Returns a cancellation id.
-  EventId schedule(Time at, Callback callback);
+  /// Schedule `callback` at absolute time `at`. Returns a cancellation
+  /// handle; handles are never zero (zero is a safe "no event" sentinel).
+  EventId schedule(Time at, Callback&& callback);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// harmless no-op (timers are routinely cancelled after firing).
-  void cancel(EventId id);
+  /// Cancel a pending event in O(1). Cancelling an already-fired, already-
+  /// cancelled, or unknown id is a harmless no-op (timers are routinely
+  /// cancelled after firing) and leaves no residue.
+  void cancel(EventId id) noexcept;
 
-  /// True when no live (non-cancelled) events remain. Prunes tombstones.
-  bool empty();
+  /// True when no live (non-cancelled) events remain. O(1).
+  bool empty() const noexcept { return live_ == 0; }
 
   /// Upper bound on pending events (may count unexpired tombstones).
   std::size_t size() const noexcept { return heap_.size(); }
 
+  /// Live (scheduled and not yet fired or cancelled) events.
+  std::size_t live_count() const noexcept { return live_; }
+
   /// Earliest live event time; kNoTime when empty. Prunes tombstones.
-  Time next_time();
+  Time next_time() noexcept;
 
   struct Fired {
     Time at;
@@ -47,30 +66,54 @@ class EventQueue {
   /// Pop the earliest live event, or nullopt when none remain.
   std::optional<Fired> try_pop();
 
+  /// Pop the earliest live event if it fires at or before `limit`, moving
+  /// its callback into `out`. The simulator's run loop uses this to peek
+  /// and pop in one pass. Returns false when nothing fires by `limit`.
+  bool pop_until(Time limit, Time& at_out, Callback& out);
+
   /// Total events ever scheduled (including later-cancelled ones).
-  std::uint64_t scheduled_count() const noexcept { return next_id_; }
+  std::uint64_t scheduled_count() const noexcept { return scheduled_; }
 
  private:
-  struct Entry {
+  struct Entry {  // 16-byte POD moved during sifts; callbacks stay put.
     Time at;
-    EventSeq seq;
-    EventId id;
-    // Mutable so try_pop() can move the callback out of the heap top.
-    mutable Callback callback;
+    std::uint32_t seq;   // FIFO tiebreak AND liveness tag (never 0)
+    std::uint32_t slot;  // index into slots_
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    Callback callback;
+    std::uint32_t live_seq = 0;  // seq of the armed event; 0 when free
+    std::uint32_t next_free = kNilSlot;
   };
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
 
-  void drop_cancelled_top();
+  static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    // Wrap-aware: correct while coexisting entries span < 2^31 schedules.
+    return static_cast<std::int32_t>(a.seq - b.seq) < 0;
+  }
+  static EventId pack(std::uint32_t seq, std::uint32_t slot) noexcept {
+    return (static_cast<EventId>(seq) << 32) | slot;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  EventSeq next_seq_ = 0;
-  EventId next_id_ = 0;
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  void pop_top() noexcept;
+  /// Discard stale entries surfacing at the heap top.
+  void drop_dead_top() noexcept;
+  /// Rebuild the heap without tombstones once they outnumber live events
+  /// (amortized O(1) per cancel); bounds heap growth under far-future
+  /// schedule/cancel churn that never surfaces at the top.
+  void compact() noexcept;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
+  std::uint32_t next_seq_ = 1;  // 0 reserved for "no event"
+  std::uint64_t scheduled_ = 0;
 };
 
 }  // namespace xp::sim

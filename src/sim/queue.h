@@ -5,9 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "sim/packet.h"
 
@@ -25,8 +25,8 @@ class DropTailQueue {
   /// Dequeue the head packet, if any.
   std::optional<Packet> dequeue();
 
-  bool empty() const noexcept { return packets_.empty(); }
-  std::size_t packet_count() const noexcept { return packets_.size(); }
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t packet_count() const noexcept { return count_; }
   std::uint64_t byte_count() const noexcept { return bytes_; }
   std::uint64_t capacity_bytes() const noexcept { return capacity_bytes_; }
 
@@ -41,8 +41,14 @@ class DropTailQueue {
   }
 
  private:
+  void grow();
+
+  // Power-of-two ring buffer: steady-state enqueue/dequeue never allocates
+  // (std::deque cycles block allocations under sustained load).
   std::uint64_t capacity_bytes_;
-  std::deque<Packet> packets_;
+  std::vector<Packet> ring_ = std::vector<Packet>(64);
+  std::size_t head_ = 0;   // index of the oldest packet
+  std::size_t count_ = 0;  // packets currently queued
   std::uint64_t bytes_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t dropped_bytes_ = 0;

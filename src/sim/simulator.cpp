@@ -5,26 +5,24 @@
 
 namespace xp::sim {
 
-EventId Simulator::schedule_at(Time at, Callback callback) {
+EventId Simulator::schedule_at(Time at, Callback&& callback) {
   if (at < now_) at = now_;
   return queue_.schedule(at, std::move(callback));
 }
 
-EventId Simulator::schedule_in(Time delay, Callback callback) {
+EventId Simulator::schedule_in(Time delay, Callback&& callback) {
   if (delay < 0.0) delay = 0.0;
   return queue_.schedule(now_ + delay, std::move(callback));
 }
 
 void Simulator::run_until(Time until) {
   stopped_ = false;
-  while (!stopped_) {
-    const Time next = queue_.next_time();
-    if (next == kNoTime || next > until) break;
-    auto fired = queue_.try_pop();
-    if (!fired) break;
-    now_ = fired->at;
+  Time at = 0.0;
+  Callback callback;
+  while (!stopped_ && queue_.pop_until(until, at, callback)) {
+    now_ = at;
     ++executed_;
-    fired->callback();
+    callback();
   }
   if (!stopped_ && now_ < until) now_ = until;
 }

@@ -22,9 +22,9 @@ class Simulator {
   Time now() const noexcept { return now_; }
 
   /// Schedule at an absolute time (clamped to `now` if in the past).
-  EventId schedule_at(Time at, Callback callback);
+  EventId schedule_at(Time at, Callback&& callback);
   /// Schedule `delay` seconds from now (negative delays clamp to zero).
-  EventId schedule_in(Time delay, Callback callback);
+  EventId schedule_in(Time delay, Callback&& callback);
   void cancel(EventId id) { queue_.cancel(id); }
 
   /// Run until the queue drains or the clock passes `until`.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "lab/runner.h"
 #include "stats/descriptive.h"
 
 namespace xp::stats {
@@ -14,6 +15,13 @@ std::vector<double> resample(std::span<const double> sample, Rng& rng) {
   std::vector<double> out(sample.size());
   for (auto& v : out) v = sample[rng.uniform_int(sample.size())];
   return out;
+}
+
+/// Independent substream for replicate `r`: counter-based (mix64 of a base
+/// drawn once from the caller's stream), so replicates can run on any
+/// thread in any order and the interval is still bit-for-bit reproducible.
+Rng replicate_rng(std::uint64_t base, std::size_t r) {
+  return Rng{mix64(base ^ (0x9e3779b97f4a7c15ULL + r))};
 }
 
 BootstrapInterval summarize_replicates(double point,
@@ -34,14 +42,15 @@ BootstrapInterval summarize_replicates(double point,
 BootstrapInterval bootstrap_ci(std::span<const double> sample,
                                const Statistic& statistic, Rng& rng,
                                std::size_t replicates,
-                               double confidence_level) {
+                               double confidence_level, lab::Runner* runner) {
   if (sample.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
-  std::vector<double> stats;
-  stats.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    const std::vector<double> draw = resample(sample, rng);
-    stats.push_back(statistic(draw));
-  }
+  const std::uint64_t base = rng.next();
+  std::vector<double> stats(replicates);
+  lab::Runner& pool = runner ? *runner : lab::global_runner();
+  pool.parallel_for(replicates, [&](std::size_t r) {
+    Rng rep_rng = replicate_rng(base, r);
+    stats[r] = statistic(resample(sample, rep_rng));
+  });
   return summarize_replicates(statistic(sample), stats, confidence_level);
 }
 
@@ -49,17 +58,20 @@ BootstrapInterval bootstrap_two_sample_ci(std::span<const double> a,
                                           std::span<const double> b,
                                           const TwoSampleStatistic& statistic,
                                           Rng& rng, std::size_t replicates,
-                                          double confidence_level) {
+                                          double confidence_level,
+                                          lab::Runner* runner) {
   if (a.empty() || b.empty()) {
     throw std::invalid_argument("bootstrap_two_sample_ci: empty sample");
   }
-  std::vector<double> stats;
-  stats.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    const std::vector<double> draw_a = resample(a, rng);
-    const std::vector<double> draw_b = resample(b, rng);
-    stats.push_back(statistic(draw_a, draw_b));
-  }
+  const std::uint64_t base = rng.next();
+  std::vector<double> stats(replicates);
+  lab::Runner& pool = runner ? *runner : lab::global_runner();
+  pool.parallel_for(replicates, [&](std::size_t r) {
+    Rng rep_rng = replicate_rng(base, r);
+    const std::vector<double> draw_a = resample(a, rep_rng);
+    const std::vector<double> draw_b = resample(b, rep_rng);
+    stats[r] = statistic(draw_a, draw_b);
+  });
   return summarize_replicates(statistic(a, b), stats, confidence_level);
 }
 

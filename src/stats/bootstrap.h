@@ -3,12 +3,21 @@
 // Used for quantile treatment effects (where the delta method is awkward)
 // and as an independent check of the regression-based intervals in the
 // experiment analyses.
+//
+// Replicates run on the process-wide parallel runner. Each replicate draws
+// from its own counter-based RNG substream (seeded by a single draw from
+// the caller's Rng), so intervals are bit-for-bit reproducible for a given
+// seed at any thread count.
 #pragma once
 
 #include <functional>
 #include <span>
 
 #include "stats/rng.h"
+
+namespace xp::lab {
+class Runner;  // replicates fan out on the lab runner (see runner.h)
+}
 
 namespace xp::stats {
 
@@ -27,11 +36,13 @@ using Statistic = std::function<double(std::span<const double>)>;
 using TwoSampleStatistic =
     std::function<double(std::span<const double>, std::span<const double>)>;
 
-/// Percentile bootstrap for a one-sample statistic.
+/// Percentile bootstrap for a one-sample statistic. Pass `runner` to pin a
+/// specific thread pool (tests); nullptr uses the process-wide runner.
 BootstrapInterval bootstrap_ci(std::span<const double> sample,
                                const Statistic& statistic, Rng& rng,
                                std::size_t replicates = 1000,
-                               double confidence_level = 0.95);
+                               double confidence_level = 0.95,
+                               lab::Runner* runner = nullptr);
 
 /// Percentile bootstrap for a two-sample contrast; resamples each group
 /// independently (appropriate for A/B cells).
@@ -40,6 +51,7 @@ BootstrapInterval bootstrap_two_sample_ci(std::span<const double> a,
                                           const TwoSampleStatistic& statistic,
                                           Rng& rng,
                                           std::size_t replicates = 1000,
-                                          double confidence_level = 0.95);
+                                          double confidence_level = 0.95,
+                                          lab::Runner* runner = nullptr);
 
 }  // namespace xp::stats

@@ -1,0 +1,139 @@
+// Parallel experiment runner: execution semantics and the determinism
+// contract (bit-for-bit identical results at any thread count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "lab/runner.h"
+#include "lab/scenarios.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+
+namespace xp {
+namespace {
+
+TEST(Runner, ExecutesEveryIndexExactlyOnce) {
+  lab::Runner runner(4);
+  EXPECT_EQ(runner.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  runner.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, SingleThreadRunsInline) {
+  lab::Runner runner(1);
+  EXPECT_EQ(runner.thread_count(), 1u);
+  int sum = 0;  // no synchronization needed: everything runs on the caller
+  runner.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(Runner, MapPreservesIndexOrder) {
+  lab::Runner runner(4);
+  const std::vector<double> out = runner.map<double>(
+      64, [](std::size_t i) { return static_cast<double>(i) * 1.5; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 1.5);
+  }
+}
+
+TEST(Runner, PropagatesFirstException) {
+  lab::Runner runner(4);
+  EXPECT_THROW(runner.parallel_for(
+                   32,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(Runner, NestedParallelForCompletes) {
+  // A bootstrap inside a sweep point: the caller participates in its own
+  // job, so nesting must not deadlock even with every worker busy.
+  lab::Runner runner(4);
+  std::atomic<int> total{0};
+  runner.parallel_for(8, [&](std::size_t) {
+    runner.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Runner, SweepIsBitIdenticalAcrossThreadCounts) {
+  lab::LabConfig config;
+  config.dumbbell.bottleneck_bps = 200e6;
+  config.dumbbell.warmup = 0.2;
+  config.dumbbell.duration = 0.8;
+  config.num_apps = 4;
+
+  lab::Runner serial(1);
+  lab::Runner pool(4);
+  const auto sweep1 =
+      lab::run_allocation_sweep(lab::Treatment::kTwoConnections, config,
+                                serial);
+  const auto sweepN =
+      lab::run_allocation_sweep(lab::Treatment::kTwoConnections, config,
+                                pool);
+
+  ASSERT_EQ(sweep1.size(), sweepN.size());
+  for (std::size_t i = 0; i < sweep1.size(); ++i) {
+    EXPECT_EQ(sweep1[i].treated_count, sweepN[i].treated_count);
+    // Bit-for-bit, not approximately: the determinism contract.
+    EXPECT_EQ(sweep1[i].mu_treated_throughput, sweepN[i].mu_treated_throughput);
+    EXPECT_EQ(sweep1[i].mu_control_throughput, sweepN[i].mu_control_throughput);
+    EXPECT_EQ(sweep1[i].mu_treated_retransmit, sweepN[i].mu_treated_retransmit);
+    EXPECT_EQ(sweep1[i].mu_control_retransmit, sweepN[i].mu_control_retransmit);
+    EXPECT_EQ(sweep1[i].aggregate_throughput, sweepN[i].aggregate_throughput);
+  }
+}
+
+TEST(Runner, BootstrapIsBitIdenticalAcrossThreadCounts) {
+  stats::Rng fill(7);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = fill.lognormal(0.0, 1.0);
+
+  const auto statistic = [](std::span<const double> s) {
+    return stats::mean(s);
+  };
+  lab::Runner serial(1);
+  lab::Runner pool(4);
+  stats::Rng rng1(42);
+  stats::Rng rngN(42);
+  const auto ci1 = stats::bootstrap_ci(xs, statistic, rng1, 500, 0.95,
+                                       &serial);
+  const auto ciN = stats::bootstrap_ci(xs, statistic, rngN, 500, 0.95,
+                                       &pool);
+  EXPECT_EQ(ci1.point, ciN.point);
+  EXPECT_EQ(ci1.low, ciN.low);
+  EXPECT_EQ(ci1.high, ciN.high);
+  EXPECT_EQ(ci1.std_error, ciN.std_error);
+}
+
+TEST(Runner, TwoSampleBootstrapIsBitIdenticalAcrossThreadCounts) {
+  stats::Rng fill(11);
+  std::vector<double> a(120), b(150);
+  for (auto& x : a) x = fill.normal(2.0, 1.0);
+  for (auto& x : b) x = fill.normal(1.5, 1.0);
+
+  const auto statistic = [](std::span<const double> s,
+                            std::span<const double> t) {
+    return stats::mean(s) - stats::mean(t);
+  };
+  lab::Runner serial(1);
+  lab::Runner pool(4);
+  stats::Rng rng1(42);
+  stats::Rng rngN(42);
+  const auto ci1 = stats::bootstrap_two_sample_ci(a, b, statistic, rng1, 400,
+                                                  0.95, &serial);
+  const auto ciN = stats::bootstrap_two_sample_ci(a, b, statistic, rngN, 400,
+                                                  0.95, &pool);
+  EXPECT_EQ(ci1.point, ciN.point);
+  EXPECT_EQ(ci1.low, ciN.low);
+  EXPECT_EQ(ci1.high, ciN.high);
+  EXPECT_EQ(ci1.std_error, ciN.std_error);
+}
+
+}  // namespace
+}  // namespace xp

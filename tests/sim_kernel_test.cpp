@@ -1,6 +1,7 @@
 // Event queue, simulator kernel, droptail queue, link.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -65,6 +66,103 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   q.schedule(5.0, [] {});
   q.cancel(id);
   EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, FifoSurvivesInterleavedCancel) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(q.schedule(1.0, [&fired, i] { fired.push_back(i); }));
+  }
+  q.cancel(ids[1]);
+  q.cancel(ids[4]);
+  while (!q.empty()) q.try_pop()->callback();
+  EXPECT_EQ(fired, (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOpEvenWithSlotReuse) {
+  // The generation scheme's core guarantee: a handle to a fired event can
+  // never hit the event that now occupies the recycled slot.
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.schedule(1.0, [&] { fired.push_back(1); });
+  q.try_pop()->callback();                                   // fire a
+  q.schedule(2.0, [&] { fired.push_back(2); });              // reuses a's slot
+  q.cancel(a);                                               // stale handle
+  while (!q.empty()) q.try_pop()->callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CancelRescheduleCycleKeepsHandlesDistinct) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.schedule(1.0, [&] { fired.push_back(1); });
+  q.cancel(a);
+  const EventId b = q.schedule(1.0, [&] { fired.push_back(2); });
+  q.cancel(a);  // double-cancel of the stale handle: must not touch b
+  EXPECT_NE(a, b);
+  while (!q.empty()) q.try_pop()->callback();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CancelAfterFireDoesNotAccumulateState) {
+  // The old tombstone-set design leaked an entry forever on every
+  // cancel-after-fire; the generation scheme must keep the queue empty.
+  EventQueue q;
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id = q.schedule(static_cast<Time>(i), [] {});
+    q.try_pop()->callback();
+    q.cancel(id);
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.live_count(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FarFutureCancelChurnStaysBounded) {
+  // Cancelled entries whose times are never reached must not pile up as
+  // heap tombstones (compaction sweeps them).
+  EventQueue q;
+  q.schedule(1.0, [] {});  // one live event
+  for (int i = 0; i < 100000; ++i) {
+    q.cancel(q.schedule(1e9 + i, [] {}));
+  }
+  EXPECT_LT(q.size(), 100u);
+  EXPECT_EQ(q.live_count(), 1u);
+}
+
+TEST(EventQueue, ZeroIsNeverAValidHandle) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.cancel(0);  // the "no event" sentinel must be a safe no-op
+  EXPECT_EQ(q.live_count(), 1u);
+}
+
+TEST(EventQueue, LargeCallableFallsBackToHeapAndFires) {
+  EventQueue q;
+  std::array<double, 64> big{};  // 512-byte capture exceeds inline storage
+  big[63] = 7.0;
+  double observed = 0.0;
+  q.schedule(1.0, [big, &observed] { observed = big[63]; });
+  q.try_pop()->callback();
+  EXPECT_DOUBLE_EQ(observed, 7.0);
+}
+
+TEST(EventQueue, EqualTimeOrderIsSchedulingOrderAcrossReuse) {
+  // Slot recycling must not perturb same-timestamp FIFO order.
+  EventQueue q;
+  std::vector<int> fired;
+  for (int round = 0; round < 3; ++round) {
+    fired.clear();
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(q.schedule(1.0, [&fired, i] { fired.push_back(i); }));
+    }
+    for (int i = 0; i < 8; i += 2) q.cancel(ids[i]);
+    while (!q.empty()) q.try_pop()->callback();
+    EXPECT_EQ(fired, (std::vector<int>{1, 3, 5, 7}));
+  }
 }
 
 TEST(Simulator, ClockAdvancesToEventTimes) {
