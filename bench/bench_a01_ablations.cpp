@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "core/analysis.h"
+#include "core/designs/paired_link.h"
 #include "core/designs/switchback.h"
 #include "core/quantile_effects.h"
 #include "core/session_metrics.h"
@@ -20,16 +21,8 @@ namespace {
 std::vector<xp::core::Observation> tte_rows(
     const std::vector<xp::video::SessionRecord>& sessions,
     xp::core::Metric metric) {
-  xp::core::RowFilter treated;
-  treated.link = 0;
-  treated.treated = 1;
-  auto obs = xp::core::select(sessions, metric, treated, 1);
-  xp::core::RowFilter control;
-  control.link = 1;
-  control.treated = 0;
-  const auto ctl = xp::core::select(sessions, metric, control, 0);
-  obs.insert(obs.end(), ctl.begin(), ctl.end());
-  return obs;
+  return xp::core::tte_contrast(
+      xp::core::select(sessions, metric, xp::core::RowFilter{}));
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 // Figure 11: throughput over time in the emulated bitrate-capping event
 // study — control link data through day 3, then 95%-capped link data.
+// Replicate weeks run through the experiment pipeline; the printed series
+// is the across-week mean with a min/max band.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -8,30 +10,33 @@
 #include "core/designs/event_study.h"
 
 int main() {
+  constexpr std::size_t kWeeks = 3;
   xp::bench::header(
-      "Figure 11 — event study time series (capping deployed from day 4)");
-  const auto run = xp::bench::main_experiment();
+      "Figure 11 — event study time series (capping deployed from day 4; "
+      "mean over replicate weeks)");
+  const auto weeks =
+      xp::bench::bootstrap_weeks("paired_links/experiment", kWeeks);
 
   xp::core::EventStudyOptions options;
   options.switch_day = 3;
-  const auto obs = xp::core::event_study_observations(
-      run.sessions, xp::core::Metric::kThroughput, options);
 
-  // Hourly means over the 5 days.
-  std::vector<double> sum(5 * 24, 0.0), count(5 * 24, 0.0);
-  for (const auto& o : obs) {
-    sum[o.hour_index] += o.outcome;
-    count[o.hour_index] += 1.0;
+  // Hourly means over the 5 days, banded across the replicate weeks.
+  constexpr std::size_t kHours = 5 * 24;
+  std::vector<std::vector<xp::core::Observation>> weekly(kWeeks);
+  for (std::size_t w = 0; w < kWeeks; ++w) {
+    weekly[w] = xp::core::event_study_observations(
+        weeks.cell(0, w).table.column("avg throughput"), options);
   }
-  double top = 0.0;
-  for (std::size_t h = 0; h < sum.size(); ++h) {
-    if (count[h] > 0.0) sum[h] /= count[h];
-    top = std::max(top, sum[h]);
-  }
-  std::printf("%5s %5s %6s | %-10s\n", "day", "hour", "tput", "arm");
-  for (std::size_t h = 0; h < sum.size(); h += 2) {
-    if (count[h] == 0.0) continue;
-    std::printf("%5zu %5zu %6.3f | %-10s\n", h / 24, h % 24, sum[h] / top,
+  const auto band = xp::bench::hourly_band(weekly, kHours);
+  const double top =
+      *std::max_element(band.mean.begin(), band.mean.end());
+
+  std::printf("%5s %5s %6s %15s | %-10s\n", "day", "hour", "tput",
+              "[min, max]", "arm");
+  for (std::size_t h = 0; h < kHours; h += 2) {
+    if (band.weeks_with_data[h] == 0) continue;
+    std::printf("%5zu %5zu %6.3f [%6.3f, %6.3f] | %-10s\n", h / 24, h % 24,
+                band.mean[h] / top, band.min[h] / top, band.max[h] / top,
                 h / 24 >= options.switch_day ? "treated" : "control");
   }
   return 0;

@@ -1,7 +1,9 @@
 // Figure 12: throughput over time in the emulated switchback — 95% capped
 // on days 1, 3, 5; control on days 2, 4. The treatment effect is much
 // harder to eyeball than in the paired-link series, which is exactly why
-// switchbacks are analyzed statistically.
+// switchbacks are analyzed statistically. Replicate weeks run through the
+// experiment pipeline; the printed series is the across-week mean with a
+// min/max band.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -10,29 +12,32 @@
 #include "core/designs/switchback.h"
 
 int main() {
+  constexpr std::size_t kWeeks = 3;
   xp::bench::header(
-      "Figure 12 — switchback time series (days 1, 3, 5 treated)");
-  const auto run = xp::bench::main_experiment();
+      "Figure 12 — switchback time series (days 1, 3, 5 treated; mean "
+      "over replicate weeks)");
+  const auto weeks =
+      xp::bench::bootstrap_weeks("paired_links/experiment", kWeeks);
 
   xp::core::SwitchbackOptions options;
   options.day_treated = {true, false, true, false, true};
-  const auto obs = xp::core::switchback_observations(
-      run.sessions, xp::core::Metric::kThroughput, options);
 
-  std::vector<double> sum(5 * 24, 0.0), count(5 * 24, 0.0);
-  for (const auto& o : obs) {
-    sum[o.hour_index] += o.outcome;
-    count[o.hour_index] += 1.0;
+  constexpr std::size_t kHours = 5 * 24;
+  std::vector<std::vector<xp::core::Observation>> weekly(kWeeks);
+  for (std::size_t w = 0; w < kWeeks; ++w) {
+    weekly[w] = xp::core::switchback_observations(
+        weeks.cell(0, w).table.column("avg throughput"), options);
   }
-  double top = 0.0;
-  for (std::size_t h = 0; h < sum.size(); ++h) {
-    if (count[h] > 0.0) sum[h] /= count[h];
-    top = std::max(top, sum[h]);
-  }
-  std::printf("%5s %5s %6s | %-10s\n", "day", "hour", "tput", "arm");
-  for (std::size_t h = 0; h < sum.size(); h += 2) {
-    if (count[h] == 0.0) continue;
-    std::printf("%5zu %5zu %6.3f | %-10s\n", h / 24, h % 24, sum[h] / top,
+  const auto band = xp::bench::hourly_band(weekly, kHours);
+  const double top =
+      *std::max_element(band.mean.begin(), band.mean.end());
+
+  std::printf("%5s %5s %6s %15s | %-10s\n", "day", "hour", "tput",
+              "[min, max]", "arm");
+  for (std::size_t h = 0; h < kHours; h += 2) {
+    if (band.weeks_with_data[h] == 0) continue;
+    std::printf("%5zu %5zu %6.3f [%6.3f, %6.3f] | %-10s\n", h / 24, h % 24,
+                band.mean[h] / top, band.min[h] / top, band.max[h] / top,
                 options.day_treated[h / 24] ? "treated" : "control");
   }
   return 0;

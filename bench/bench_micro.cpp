@@ -9,8 +9,9 @@
 #include <vector>
 
 #include "core/analysis.h"
-#include "lab/runner.h"
+#include "lab/experiment.h"
 #include "lab/scenarios.h"
+#include "util/runner.h"
 #include "sim/dumbbell.h"
 #include "sim/event_queue.h"
 #include "stats/bootstrap.h"
@@ -156,7 +157,7 @@ BENCHMARK(BM_HourlyAggregation)->Unit(benchmark::kMillisecond);
 void BM_RunnerAllocationSweep(benchmark::State& state) {
   // Wall-clock scaling of the Figure 2 sweep across thread counts; each
   // point is an independent deterministic simulator run.
-  xp::lab::Runner runner(static_cast<std::size_t>(state.range(0)));
+  xp::util::Runner runner(static_cast<std::size_t>(state.range(0)));
   xp::lab::LabConfig config;
   config.dumbbell.bottleneck_bps = 500e6;
   config.dumbbell.warmup = 0.25;
@@ -176,7 +177,7 @@ BENCHMARK(BM_RunnerAllocationSweep)
     ->UseRealTime();
 
 void BM_RunnerBootstrap(benchmark::State& state) {
-  xp::lab::Runner runner(static_cast<std::size_t>(state.range(0)));
+  xp::util::Runner runner(static_cast<std::size_t>(state.range(0)));
   xp::stats::Rng fill(3);
   std::vector<double> xs(5000);
   for (auto& x : xs) x = fill.lognormal(0.0, 1.0);
@@ -190,6 +191,24 @@ void BM_RunnerBootstrap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RunnerBootstrap)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ExperimentPipeline(benchmark::State& state) {
+  // End-to-end cost of the registry + pipeline seam at a smoke scale:
+  // spec -> source lookup -> replicate fan-out -> observation tables.
+  xp::util::Runner runner(static_cast<std::size_t>(state.range(0)));
+  xp::lab::ExperimentSpec spec;
+  spec.scenario = "dumbbell/two_connections";
+  spec.tuning.duration_scale = 0.05;
+  spec.replicates = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xp::lab::run_experiment(spec, runner));
+  }
+}
+BENCHMARK(BM_ExperimentPipeline)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)

@@ -1,0 +1,107 @@
+#include "bench/bench_util.h"
+
+#include <stdexcept>
+
+#include "lab/registry.h"
+#include "stats/descriptive.h"
+#include "util/runner.h"
+
+namespace xp::bench {
+
+void header(std::string_view title) {
+  std::printf("\n%.*s\n", 100,
+              "====================================================="
+              "===============================================");
+  std::printf("  %s\n", std::string(title).c_str());
+  std::printf("%.*s\n", 100,
+              "====================================================="
+              "===============================================");
+}
+
+video::ClusterResult main_experiment(double days, std::uint64_t seed) {
+  video::ClusterConfig config = lab::canonical_experiment_config();
+  config.days = days;
+  config.seed = seed;
+  return video::run_paired_links(config);
+}
+
+video::ClusterResult baseline_week(double days, std::uint64_t seed) {
+  video::ClusterConfig config = lab::canonical_baseline_config();
+  config.days = days;
+  config.seed = seed;
+  return video::run_paired_links(config);
+}
+
+std::pair<video::ClusterResult, video::ClusterResult> baseline_and_experiment(
+    double days) {
+  std::pair<video::ClusterResult, video::ClusterResult> results;
+  util::global_runner().parallel_for(2, [&](std::size_t i) {
+    if (i == 0) {
+      results.first = baseline_week(days);
+    } else {
+      results.second = main_experiment(days);
+    }
+  });
+  return results;
+}
+
+lab::ExperimentReport bootstrap_weeks(const std::string& scenario,
+                                      std::size_t weeks, std::uint64_t seed,
+                                      double duration_scale) {
+  lab::ExperimentSpec spec;
+  spec.scenario = scenario;
+  spec.tuning.duration_scale = duration_scale;
+  spec.replicates = weeks;
+  spec.seed = seed;
+  return lab::run_experiment(spec);
+}
+
+HourlyBand hourly_band(
+    const std::vector<std::vector<core::Observation>>& weekly_obs,
+    std::size_t hours) {
+  const std::size_t weeks = weekly_obs.size();
+  std::vector<std::vector<double>> sum(weeks,
+                                       std::vector<double>(hours, 0.0));
+  std::vector<std::vector<double>> count(weeks,
+                                         std::vector<double>(hours, 0.0));
+  for (std::size_t w = 0; w < weeks; ++w) {
+    for (const core::Observation& obs : weekly_obs[w]) {
+      if (obs.hour_index >= hours) continue;
+      sum[w][obs.hour_index] += obs.outcome;
+      count[w][obs.hour_index] += 1.0;
+    }
+  }
+
+  HourlyBand band;
+  band.mean.assign(hours, 0.0);
+  band.min.assign(hours, 0.0);
+  band.max.assign(hours, 0.0);
+  band.weeks_with_data.assign(hours, 0);
+  for (std::size_t h = 0; h < hours; ++h) {
+    std::vector<double> means;
+    for (std::size_t w = 0; w < weeks; ++w) {
+      if (count[w][h] > 0.0) means.push_back(sum[w][h] / count[w][h]);
+    }
+    band.weeks_with_data[h] = means.size();
+    if (!means.empty()) {
+      const WeekSpread spread = across_weeks(means);
+      band.mean[h] = spread.mean;
+      band.min[h] = spread.min;
+      band.max[h] = spread.max;
+    }
+  }
+  return band;
+}
+
+WeekSpread across_weeks(const std::vector<double>& values) {
+  if (values.empty()) {
+    throw std::invalid_argument("across_weeks: no values");
+  }
+  WeekSpread spread;
+  spread.mean = stats::mean(values);
+  spread.min = stats::min(values);
+  spread.max = stats::max(values);
+  return spread;
+}
+
+}  // namespace xp::bench

@@ -1,60 +1,65 @@
-// Shared helpers for the figure-reproduction benchmark binaries.
+// Shared helpers for the figure-reproduction benchmark binaries. The
+// canonical experiment/baseline week configurations live in exactly one
+// compiled translation unit (bench_util.cpp, on top of the lab registry's
+// canonical configs) so every bench reproduces the same worlds.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
-#include "lab/runner.h"
+#include "core/observation.h"
+#include "lab/experiment.h"
 #include "video/cluster.h"
 
 namespace xp::bench {
 
-inline void header(std::string_view title) {
-  std::printf("\n%.*s\n", 100,
-              "====================================================="
-              "===============================================");
-  std::printf("  %s\n", std::string(title).c_str());
-  std::printf("%.*s\n", 100,
-              "====================================================="
-              "===============================================");
-}
+void header(std::string_view title);
 
 /// The canonical 5-day paired-link experiment of Section 4 (Wed-Sun).
-inline video::ClusterResult main_experiment(double days = 5.0,
-                                            std::uint64_t seed = 2021) {
-  video::ClusterConfig config;
-  config.days = days;
-  config.seed = seed;
-  return video::run_paired_links(config);
-}
+video::ClusterResult main_experiment(double days = 5.0,
+                                     std::uint64_t seed = 2021);
 
 /// The baseline week: no treatment anywhere (Section 4.1 / A/A data).
-inline video::ClusterResult baseline_week(double days = 5.0,
-                                          std::uint64_t seed = 1917) {
-  video::ClusterConfig config;
-  config.days = days;
-  config.seed = seed;
-  config.treat_probability[0] = 0.0;
-  config.treat_probability[1] = 0.0;
-  return video::run_paired_links(config);
-}
+video::ClusterResult baseline_week(double days = 5.0,
+                                   std::uint64_t seed = 1917);
 
 /// Baseline week and main experiment, fanned across cores. Both worlds are
 /// independent and deterministic in their own seeds, so the pair is
 /// identical to two serial runs at any thread count.
-inline std::pair<video::ClusterResult, video::ClusterResult>
-baseline_and_experiment(double days = 5.0) {
-  std::pair<video::ClusterResult, video::ClusterResult> results;
-  lab::global_runner().parallel_for(2, [&](std::size_t i) {
-    if (i == 0) {
-      results.first = baseline_week(days);
-    } else {
-      results.second = main_experiment(days);
-    }
-  });
-  return results;
-}
+std::pair<video::ClusterResult, video::ClusterResult> baseline_and_experiment(
+    double days = 5.0);
+
+/// `weeks` independent replicate worlds of a registered scenario at its
+/// default allocation, fanned across the process-wide runner (the
+/// bootstrap-week harness of the Figure 5/10-13 benches).
+lab::ExperimentReport bootstrap_weeks(const std::string& scenario,
+                                      std::size_t weeks,
+                                      std::uint64_t seed = 2021,
+                                      double duration_scale = 1.0);
+
+/// Across-week spread of a per-week statistic.
+struct WeekSpread {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+WeekSpread across_weeks(const std::vector<double>& values);
+
+/// Across-week band of hourly mean outcomes (the Figure 11/12 series).
+/// A week contributes to an hour's band only if it has observations in
+/// that hour, so sparsely covered hours are not dragged toward zero.
+struct HourlyBand {
+  std::vector<double> mean, min, max;          ///< indexed by hour
+  std::vector<std::size_t> weeks_with_data;    ///< per-hour coverage
+};
+
+HourlyBand hourly_band(
+    const std::vector<std::vector<core::Observation>>& weekly_obs,
+    std::size_t hours);
 
 }  // namespace xp::bench

@@ -3,35 +3,38 @@
 namespace xp::core {
 
 std::vector<Observation> event_study_observations(
-    std::span<const video::SessionRecord> rows, Metric metric,
-    const EventStudyOptions& options) {
+    std::span<const Observation> rows, const EventStudyOptions& options) {
   std::vector<Observation> out;
-  for (const video::SessionRecord& row : rows) {
+  for (const Observation& row : rows) {
     const bool post = row.day >= options.switch_day;
     if (post) {
-      if (row.link != options.treated_source_link || !row.treated) continue;
+      if (row.group != options.treated_source_link || !row.treated) continue;
     } else {
-      if (row.link != options.control_source_link || row.treated) continue;
+      if (row.group != options.control_source_link || row.treated) continue;
     }
-    Observation obs;
-    obs.unit = row.session_id;
-    obs.account = row.account_id;
+    Observation obs = row;
     obs.treated = post;
-    obs.outcome = metric_value(row, metric);
-    obs.hour_of_day = row.hour;
-    obs.hour_index = static_cast<std::uint64_t>(row.day) * 24 + row.hour;
-    obs.day = row.day;
-    obs.group = row.link;
     out.push_back(obs);
   }
   return out;
 }
 
+std::vector<Observation> event_study_observations(
+    std::span<const video::SessionRecord> rows, Metric metric,
+    const EventStudyOptions& options) {
+  return event_study_observations(select(rows, metric, RowFilter{}), options);
+}
+
+EffectEstimate event_study_tte(std::span<const Observation> rows,
+                               const EventStudyOptions& options) {
+  const auto obs = event_study_observations(rows, options);
+  return hourly_fe_analysis(obs, options.analysis);
+}
+
 EffectEstimate event_study_tte(std::span<const video::SessionRecord> rows,
                                Metric metric,
                                const EventStudyOptions& options) {
-  const auto obs = event_study_observations(rows, metric, options);
-  return hourly_fe_analysis(obs, options.analysis);
+  return event_study_tte(select(rows, metric, RowFilter{}), options);
 }
 
 }  // namespace xp::core

@@ -25,11 +25,19 @@ struct EventStudyOptions {
   AnalysisOptions analysis;
 };
 
+/// Build the emulated event-study dataset from a metric column of
+/// observations (rows keep their own arm labels; group is the link).
+/// ObservationTable columns feed this directly.
+std::vector<Observation> event_study_observations(
+    std::span<const Observation> rows, const EventStudyOptions& options);
+
 std::vector<Observation> event_study_observations(
     std::span<const video::SessionRecord> rows, Metric metric,
     const EventStudyOptions& options);
 
 /// TTE estimate from the event study.
+EffectEstimate event_study_tte(std::span<const Observation> rows,
+                               const EventStudyOptions& options);
 EffectEstimate event_study_tte(std::span<const video::SessionRecord> rows,
                                Metric metric,
                                const EventStudyOptions& options);

@@ -2,11 +2,9 @@
 
 namespace xp::core {
 
-PairedLinkReport analyze_paired_link(
-    std::span<const video::SessionRecord> rows, Metric metric,
-    const PairedLinkOptions& options) {
+PairedLinkReport analyze_paired_link(std::span<const Observation> rows,
+                                     const PairedLinkOptions& options) {
   PairedLinkReport report;
-  report.metric = metric;
 
   const int hi = options.mostly_treated_link;
   const int lo = options.mostly_control_link;
@@ -19,9 +17,9 @@ PairedLinkReport analyze_paired_link(
       filter.treated = arm;
       double sum = 0.0;
       std::size_t n = 0;
-      for (const auto& row : rows) {
+      for (const Observation& row : rows) {
         if (matches(row, filter)) {
-          sum += metric_value(row, metric);
+          sum += row.outcome;
           ++n;
         }
       }
@@ -39,44 +37,40 @@ PairedLinkReport analyze_paired_link(
   {
     RowFilter filter;
     filter.link = hi;
-    const auto obs = select(rows, metric, filter);
-    report.naive_high = account_level_analysis(obs, analysis);
+    report.naive_high = account_level_analysis(select(rows, filter), analysis);
   }
   {
     RowFilter filter;
     filter.link = lo;
-    const auto obs = select(rows, metric, filter);
-    report.naive_low = account_level_analysis(obs, analysis);
+    report.naive_low = account_level_analysis(select(rows, filter), analysis);
   }
 
   // Approximate TTE: treated on the 95% link vs control on the 5% link.
-  {
-    RowFilter treated_filter;
-    treated_filter.link = hi;
-    treated_filter.treated = 1;
-    auto obs = select(rows, metric, treated_filter, /*relabel=*/1);
-    RowFilter control_filter;
-    control_filter.link = lo;
-    control_filter.treated = 0;
-    const auto control = select(rows, metric, control_filter, /*relabel=*/0);
-    obs.insert(obs.end(), control.begin(), control.end());
-    report.tte = hourly_fe_analysis(obs, analysis);
-  }
+  report.tte = hourly_fe_analysis(tte_contrast(rows, options), analysis);
 
   // Spillover: control on the 95% link vs control on the 5% link.
   {
     RowFilter exposed_filter;
     exposed_filter.link = hi;
     exposed_filter.treated = 0;
-    auto obs = select(rows, metric, exposed_filter, /*relabel=*/1);
+    auto obs = select(rows, exposed_filter, /*relabel=*/1);
     RowFilter control_filter;
     control_filter.link = lo;
     control_filter.treated = 0;
-    const auto control = select(rows, metric, control_filter, /*relabel=*/0);
+    const auto control = select(rows, control_filter, /*relabel=*/0);
     obs.insert(obs.end(), control.begin(), control.end());
     report.spillover = hourly_fe_analysis(obs, analysis);
   }
 
+  return report;
+}
+
+PairedLinkReport analyze_paired_link(
+    std::span<const video::SessionRecord> rows, Metric metric,
+    const PairedLinkOptions& options) {
+  PairedLinkReport report =
+      analyze_paired_link(select(rows, metric, RowFilter{}), options);
+  report.metric = metric;
   return report;
 }
 
@@ -88,6 +82,20 @@ std::vector<PairedLinkReport> analyze_all_metrics(
     reports.push_back(analyze_paired_link(rows, metric, options));
   }
   return reports;
+}
+
+std::vector<Observation> tte_contrast(std::span<const Observation> rows,
+                                      const PairedLinkOptions& options) {
+  RowFilter treated_filter;
+  treated_filter.link = options.mostly_treated_link;
+  treated_filter.treated = 1;
+  auto obs = select(rows, treated_filter, /*relabel=*/1);
+  RowFilter control_filter;
+  control_filter.link = options.mostly_control_link;
+  control_filter.treated = 0;
+  const auto control = select(rows, control_filter, /*relabel=*/0);
+  obs.insert(obs.end(), control.begin(), control.end());
+  return obs;
 }
 
 }  // namespace xp::core

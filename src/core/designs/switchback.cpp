@@ -5,39 +5,42 @@
 namespace xp::core {
 
 std::vector<Observation> switchback_observations(
-    std::span<const video::SessionRecord> rows, Metric metric,
-    const SwitchbackOptions& options) {
+    std::span<const Observation> rows, const SwitchbackOptions& options) {
   if (options.day_treated.empty()) {
     throw std::invalid_argument("switchback: no interval assignment");
   }
   std::vector<Observation> out;
-  for (const video::SessionRecord& row : rows) {
+  for (const Observation& row : rows) {
     if (row.day >= options.day_treated.size()) continue;
     const bool treated_day = options.day_treated[row.day];
     if (treated_day) {
-      if (row.link != options.treated_source_link || !row.treated) continue;
+      if (row.group != options.treated_source_link || !row.treated) continue;
     } else {
-      if (row.link != options.control_source_link || row.treated) continue;
+      if (row.group != options.control_source_link || row.treated) continue;
     }
-    Observation obs;
-    obs.unit = row.session_id;
-    obs.account = row.account_id;
+    Observation obs = row;
     obs.treated = treated_day;
-    obs.outcome = metric_value(row, metric);
-    obs.hour_of_day = row.hour;
-    obs.hour_index = static_cast<std::uint64_t>(row.day) * 24 + row.hour;
-    obs.day = row.day;
-    obs.group = row.link;
     out.push_back(obs);
   }
   return out;
 }
 
+std::vector<Observation> switchback_observations(
+    std::span<const video::SessionRecord> rows, Metric metric,
+    const SwitchbackOptions& options) {
+  return switchback_observations(select(rows, metric, RowFilter{}), options);
+}
+
+EffectEstimate switchback_tte(std::span<const Observation> rows,
+                              const SwitchbackOptions& options) {
+  const auto obs = switchback_observations(rows, options);
+  return hourly_fe_analysis(obs, options.analysis);
+}
+
 EffectEstimate switchback_tte(std::span<const video::SessionRecord> rows,
                               Metric metric,
                               const SwitchbackOptions& options) {
-  const auto obs = switchback_observations(rows, metric, options);
-  return hourly_fe_analysis(obs, options.analysis);
+  return switchback_tte(select(rows, metric, RowFilter{}), options);
 }
 
 }  // namespace xp::core

@@ -27,12 +27,20 @@ struct SwitchbackOptions {
   AnalysisOptions analysis;
 };
 
+/// Build the emulated switchback dataset from a metric column of
+/// observations (rows keep their own arm labels; group is the link).
+/// ObservationTable columns feed this directly.
+std::vector<Observation> switchback_observations(
+    std::span<const Observation> rows, const SwitchbackOptions& options);
+
 /// Build the emulated switchback dataset for one metric.
 std::vector<Observation> switchback_observations(
     std::span<const video::SessionRecord> rows, Metric metric,
     const SwitchbackOptions& options);
 
 /// TTE estimate from a switchback design.
+EffectEstimate switchback_tte(std::span<const Observation> rows,
+                              const SwitchbackOptions& options);
 EffectEstimate switchback_tte(std::span<const video::SessionRecord> rows,
                               Metric metric,
                               const SwitchbackOptions& options);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "lab/runner.h"
+#include "util/runner.h"
 #include "stats/bootstrap.h"
 #include "stats/descriptive.h"
 
@@ -49,7 +49,7 @@ std::vector<QuantileEffectRow> quantile_effect_ladder(
   // Rungs are independent bootstraps with index-derived seeds, so the
   // runner can fan them out; the ladder is identical at any thread count.
   std::vector<QuantileEffectRow> ladder(quantiles.size());
-  lab::global_runner().parallel_for(quantiles.size(), [&](std::size_t i) {
+  util::global_runner().parallel_for(quantiles.size(), [&](std::size_t i) {
     QuantileEffectOptions step = options;
     step.seed = options.seed + i + 1;  // independent streams per quantile
     ladder[i].quantile = quantiles[i];

@@ -94,6 +94,36 @@ bool matches(const video::SessionRecord& row,
   return true;
 }
 
+bool matches(const Observation& row, const RowFilter& filter) noexcept {
+  if (filter.link >= 0 && row.group != filter.link) return false;
+  if (filter.treated >= 0 && static_cast<int>(row.treated) != filter.treated) {
+    return false;
+  }
+  if (filter.day_min >= 0 &&
+      row.day < static_cast<std::uint32_t>(filter.day_min)) {
+    return false;
+  }
+  if (filter.day_max >= 0 &&
+      row.day > static_cast<std::uint32_t>(filter.day_max)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Observation> select(std::span<const Observation> rows,
+                                const RowFilter& filter,
+                                int relabel_treated) {
+  std::vector<Observation> out;
+  out.reserve(rows.size() / 2);
+  for (const Observation& row : rows) {
+    if (!matches(row, filter)) continue;
+    Observation obs = row;
+    if (relabel_treated >= 0) obs.treated = relabel_treated != 0;
+    out.push_back(obs);
+  }
+  return out;
+}
+
 std::vector<Observation> select(std::span<const video::SessionRecord> rows,
                                 Metric metric, const RowFilter& filter,
                                 int relabel_treated) {

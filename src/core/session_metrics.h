@@ -54,6 +54,10 @@ struct RowFilter {
 
 bool matches(const video::SessionRecord& row, const RowFilter& filter) noexcept;
 
+/// Same filter over already-extracted observations (group plays the role
+/// of the link).
+bool matches(const Observation& row, const RowFilter& filter) noexcept;
+
 /// Convert matching telemetry rows to observations of `metric`.
 /// `relabel_treated`: -1 keeps the row's own assignment; 0/1 forces the
 /// observation's arm label (used when comparing cells across links, e.g.
@@ -61,6 +65,12 @@ bool matches(const video::SessionRecord& row, const RowFilter& filter) noexcept;
 /// rows A=0).
 std::vector<Observation> select(std::span<const video::SessionRecord> rows,
                                 Metric metric, const RowFilter& filter,
+                                int relabel_treated = -1);
+
+/// Filter a metric column (e.g. one ObservationTable column) the same way.
+/// Designs run off these rows directly — no telemetry records needed.
+std::vector<Observation> select(std::span<const Observation> rows,
+                                const RowFilter& filter,
                                 int relabel_treated = -1);
 
 }  // namespace xp::core

@@ -1,0 +1,71 @@
+#include "lab/datasource.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace xp::lab {
+
+namespace {
+
+[[noreturn]] void throw_unknown(std::string_view kind, std::string_view name,
+                                const std::vector<std::string>& known) {
+  std::ostringstream message;
+  message << "ObservationTable: unknown " << kind << " \"" << name
+          << "\"; available:";
+  if (known.empty()) message << " (none)";
+  for (const std::string& k : known) message << " \"" << k << "\"";
+  throw std::invalid_argument(message.str());
+}
+
+template <typename T>
+const T& lookup(std::string_view kind, std::string_view name,
+                const std::vector<std::string>& names,
+                const std::vector<T>& values) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return values[i];
+  }
+  throw_unknown(kind, name, names);
+}
+
+}  // namespace
+
+void ObservationTable::add_column(std::string metric,
+                                  std::vector<core::Observation> rows) {
+  metrics.push_back(std::move(metric));
+  columns.push_back(std::move(rows));
+}
+
+void ObservationTable::add_aggregate(std::string name, double value) {
+  aggregate_names.push_back(std::move(name));
+  aggregates.push_back(value);
+}
+
+void ObservationTable::add_series(std::string name,
+                                  std::vector<double> values) {
+  series_names.push_back(std::move(name));
+  series.push_back(std::move(values));
+}
+
+bool ObservationTable::has_column(std::string_view metric) const noexcept {
+  for (const std::string& m : metrics) {
+    if (m == metric) return true;
+  }
+  return false;
+}
+
+const std::vector<core::Observation>& ObservationTable::column(
+    std::string_view metric) const {
+  return lookup("metric column", metric, metrics, columns);
+}
+
+double ObservationTable::aggregate(std::string_view name) const {
+  return lookup("aggregate", name, aggregate_names, aggregates);
+}
+
+const std::vector<double>& ObservationTable::series_values(
+    std::string_view name) const {
+  return lookup("series", name, series_names, series);
+}
+
+}  // namespace xp::lab

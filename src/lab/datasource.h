@@ -1,0 +1,72 @@
+// The backend seam of the experiment pipeline.
+//
+// The paper's core move is running the *same* experiment designs over two
+// very different data-generating processes: the packet-level dumbbell lab
+// of Section 3 (Figures 2-3) and the fluid paired-link video cluster of
+// Section 4 (Figures 5-13). A DataSource is the tiny virtual interface
+// both sit behind (modeled on puffer's pluggable ABRAlgo): simulate one
+// world at a treatment allocation and return a common unit-observation
+// table. Everything above — the scenario registry, the ExperimentSpec
+// pipeline, the designs in core/ — only ever sees this interface, so a
+// new backend (new treatment, trace replay, multi-bottleneck topology)
+// lands as one registry entry instead of a new bench binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/observation.h"
+
+namespace xp::lab {
+
+/// The common output of every data source: named columns of unit
+/// observations (one column per metric, rows aligned across columns),
+/// named scalar aggregates (e.g. link utilization), and named time
+/// series (e.g. hourly utilization). Designs in core/ consume the
+/// columns directly.
+struct ObservationTable {
+  std::vector<std::string> metrics;  ///< column names (core metric names)
+  std::vector<std::vector<core::Observation>> columns;
+
+  std::vector<std::string> aggregate_names;
+  std::vector<double> aggregates;
+
+  std::vector<std::string> series_names;
+  std::vector<std::vector<double>> series;
+
+  void add_column(std::string metric, std::vector<core::Observation> rows);
+  void add_aggregate(std::string name, double value);
+  void add_series(std::string name, std::vector<double> values);
+
+  bool has_column(std::string_view metric) const noexcept;
+
+  /// Lookup by name; throws std::invalid_argument naming the available
+  /// entries on a miss.
+  const std::vector<core::Observation>& column(std::string_view metric) const;
+  double aggregate(std::string_view name) const;
+  const std::vector<double>& series_values(std::string_view name) const;
+};
+
+/// One data-generating process. Implementations must be stateless after
+/// construction: run() is called concurrently from pipeline threads and
+/// its result must be a pure function of (allocation, seed).
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// The registry key this source is published under.
+  virtual std::string_view name() const noexcept = 0;
+
+  /// The allocation of the canonical experiment (e.g. 0.95 for the
+  /// paired-link capping experiment); pipelines use it when a spec does
+  /// not sweep allocations explicitly.
+  virtual double default_allocation() const noexcept = 0;
+
+  /// Simulate one world with fraction `allocation` of units treated.
+  virtual ObservationTable run(double allocation,
+                               std::uint64_t seed) const = 0;
+};
+
+}  // namespace xp::lab

@@ -1,0 +1,53 @@
+#include "lab/experiment.h"
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace xp::lab {
+
+const ExperimentCell& ExperimentReport::cell(std::size_t allocation_index,
+                                             std::size_t replicate) const {
+  if (allocation_index >= allocations.size() || replicate >= replicates) {
+    throw std::out_of_range("ExperimentReport::cell: index out of range");
+  }
+  return cells[allocation_index * replicates + replicate];
+}
+
+std::uint64_t cell_seed(std::uint64_t base, std::size_t index) noexcept {
+  return stats::mix64(base ^ (0x9e3779b97f4a7c15ULL + index));
+}
+
+ExperimentReport run_experiment(const ExperimentSpec& spec) {
+  return run_experiment(spec, util::global_runner());
+}
+
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                util::Runner& runner) {
+  if (spec.replicates == 0) {
+    throw std::invalid_argument("run_experiment: replicates == 0");
+  }
+  const std::unique_ptr<DataSource> source =
+      make_scenario(spec.scenario, spec.tuning);
+
+  ExperimentReport report;
+  report.allocations = spec.allocations;
+  if (report.allocations.empty()) {
+    report.allocations.push_back(source->default_allocation());
+  }
+  report.replicates = spec.replicates;
+  report.cells.resize(report.allocations.size() * report.replicates);
+
+  // Cells are independent worlds with index-derived seeds written into
+  // index-addressed slots: bit-for-bit identical at any thread count.
+  runner.parallel_for(report.cells.size(), [&](std::size_t i) {
+    ExperimentCell& cell = report.cells[i];
+    cell.allocation = report.allocations[i / report.replicates];
+    cell.replicate = i % report.replicates;
+    cell.seed = cell_seed(spec.seed, i);
+    cell.table = source->run(cell.allocation, cell.seed);
+  });
+  return report;
+}
+
+}  // namespace xp::lab

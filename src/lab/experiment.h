@@ -1,0 +1,57 @@
+// The one experiment pipeline: ExperimentSpec -> run_experiment -> Report.
+//
+// A spec names a registered scenario, the allocations to sweep, and the
+// number of replicate worlds per allocation (bootstrap weeks, repeated
+// lab runs). The pipeline fans every (allocation, replicate) cell across
+// the runner; each cell derives its seed from the spec seed and its own
+// index (counter-based stats::mix64 substream), so the report is
+// bit-for-bit identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lab/registry.h"
+#include "util/runner.h"
+
+namespace xp::lab {
+
+struct ExperimentSpec {
+  std::string scenario;  ///< registry key (see lab/registry.h)
+  SourceOptions tuning;
+  /// Sweep points; empty means {source->default_allocation()}.
+  std::vector<double> allocations;
+  /// Independent replicate worlds per allocation.
+  std::size_t replicates = 1;
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentCell {
+  double allocation = 0.0;
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;  ///< the derived per-cell seed actually used
+  ObservationTable table;
+};
+
+struct ExperimentReport {
+  std::vector<double> allocations;
+  std::size_t replicates = 0;
+  /// Allocation-major: cells[a * replicates + r].
+  std::vector<ExperimentCell> cells;
+
+  const ExperimentCell& cell(std::size_t allocation_index,
+                             std::size_t replicate) const;
+};
+
+/// Deterministic seed of cell `index` under base seed `base` (the same
+/// counter-based substream scheme stats::bootstrap uses).
+std::uint64_t cell_seed(std::uint64_t base, std::size_t index) noexcept;
+
+/// Run the spec on the process-wide runner / an explicit runner (tests pin
+/// 1 vs N threads with the latter).
+ExperimentReport run_experiment(const ExperimentSpec& spec);
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                util::Runner& runner);
+
+}  // namespace xp::lab

@@ -1,0 +1,253 @@
+#include "lab/registry.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/session_metrics.h"
+#include "video/cluster.h"
+
+namespace xp::lab {
+
+namespace {
+
+// ------------------------------------------------------------- builtins ----
+
+/// Section 3 dumbbell lab: one treatment, columns for every app metric.
+class DumbbellSource final : public DataSource {
+ public:
+  DumbbellSource(std::string name, Treatment treatment, LabConfig config)
+      : name_(std::move(name)), treatment_(treatment), config_(config) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  double default_allocation() const noexcept override { return 0.5; }
+
+  ObservationTable run(double allocation,
+                       std::uint64_t seed) const override {
+    LabConfig config = config_;
+    config.seed = seed;
+    const auto treated_count = static_cast<std::size_t>(std::lround(
+        allocation * static_cast<double>(config.num_apps)));
+    const LabRun lab = run_lab(treatment_, treated_count, config);
+
+    ObservationTable table;
+    const auto add = [&](core::Metric metric, auto value_of) {
+      std::vector<core::Observation> rows;
+      rows.reserve(lab.units.size());
+      for (std::size_t i = 0; i < lab.units.size(); ++i) {
+        core::Observation obs;
+        obs.unit = i;
+        obs.account = i;
+        obs.treated = lab.units[i].treated;
+        obs.outcome = value_of(lab.units[i]);
+        rows.push_back(obs);
+      }
+      table.add_column(std::string(core::metric_name(metric)),
+                       std::move(rows));
+    };
+    add(core::Metric::kThroughput,
+        [](const LabUnit& u) { return u.throughput_bps; });
+    add(core::Metric::kRetransmitFraction,
+        [](const LabUnit& u) { return u.retransmit_fraction; });
+    add(core::Metric::kMeanRtt, [](const LabUnit& u) { return u.mean_rtt; });
+    add(core::Metric::kMinRtt, [](const LabUnit& u) { return u.min_rtt; });
+
+    table.add_aggregate("aggregate_throughput_bps",
+                        lab.aggregate_throughput_bps);
+    table.add_aggregate("link_utilization", lab.link_utilization);
+    return table;
+  }
+
+ private:
+  std::string name_;
+  Treatment treatment_;
+  LabConfig config_;
+};
+
+/// Section 4 paired-link cluster week: columns for the full telemetry
+/// metric set, plus the hourly diagnostics as series.
+class PairedLinkSource final : public DataSource {
+ public:
+  PairedLinkSource(std::string name, video::ClusterConfig config,
+                   bool allocation_sets_treatment)
+      : name_(std::move(name)),
+        config_(config),
+        allocation_sets_treatment_(allocation_sets_treatment) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  double default_allocation() const noexcept override {
+    return allocation_sets_treatment_ ? config_.treat_probability[0] : 0.0;
+  }
+
+  ObservationTable run(double allocation,
+                       std::uint64_t seed) const override {
+    video::ClusterConfig config = config_;
+    config.seed = seed;
+    if (allocation_sets_treatment_) {
+      config.treat_probability[0] = allocation;
+      config.treat_probability[1] = 1.0 - allocation;
+    }
+    const video::ClusterResult result = video::run_paired_links(config);
+
+    ObservationTable table;
+    const core::RowFilter all;
+    for (core::Metric metric : core::kAllMetrics) {
+      table.add_column(std::string(core::metric_name(metric)),
+                       core::select(result.sessions, metric, all));
+    }
+    table.add_aggregate("sessions_started",
+                        static_cast<double>(result.stats.sessions_started));
+    table.add_aggregate(
+        "sessions_completed",
+        static_cast<double>(result.stats.sessions_completed));
+    for (int link = 0; link < 2; ++link) {
+      const std::string suffix = "/link" + std::to_string(link + 1);
+      table.add_aggregate("peak_utilization" + suffix,
+                          result.stats.peak_utilization[link]);
+      table.add_series("hourly_utilization" + suffix,
+                       result.hourly_utilization[link]);
+      table.add_series("hourly_rtt" + suffix, result.hourly_rtt[link]);
+    }
+    return table;
+  }
+
+ private:
+  std::string name_;
+  video::ClusterConfig config_;
+  bool allocation_sets_treatment_;
+};
+
+// ------------------------------------------------------------- registry ----
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SourceFactory> factories;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+LabConfig scaled(LabConfig config, double scale) {
+  config.dumbbell.warmup *= scale;
+  config.dumbbell.duration *= scale;
+  return config;
+}
+
+video::ClusterConfig scaled(video::ClusterConfig config, double scale) {
+  config.days *= scale;
+  return config;
+}
+
+void register_locked(Registry& reg, std::string name,
+                     SourceFactory factory) {
+  if (!reg.factories.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("register_scenario: duplicate scenario \"" +
+                                name + "\"");
+  }
+}
+
+void ensure_builtins_locked(Registry& reg) {
+  if (!reg.factories.empty()) return;
+  const auto dumbbell = [&](const char* name, Treatment treatment) {
+    register_locked(reg, name, [name, treatment](const SourceOptions& opt) {
+      return std::make_unique<DumbbellSource>(
+          name, treatment,
+          scaled(canonical_lab_config(), opt.duration_scale));
+    });
+  };
+  dumbbell("dumbbell/two_connections", Treatment::kTwoConnections);
+  dumbbell("dumbbell/pacing", Treatment::kPacing);
+  dumbbell("dumbbell/bbr_vs_cubic", Treatment::kBbrVsCubic);
+
+  register_locked(reg, "paired_links/experiment",
+                  [](const SourceOptions& opt) {
+                    return std::make_unique<PairedLinkSource>(
+                        "paired_links/experiment",
+                        scaled(canonical_experiment_config(),
+                               opt.duration_scale),
+                        /*allocation_sets_treatment=*/true);
+                  });
+  register_locked(reg, "paired_links/baseline",
+                  [](const SourceOptions& opt) {
+                    return std::make_unique<PairedLinkSource>(
+                        "paired_links/baseline",
+                        scaled(canonical_baseline_config(),
+                               opt.duration_scale),
+                        /*allocation_sets_treatment=*/false);
+                  });
+}
+
+}  // namespace
+
+void register_scenario(std::string name, SourceFactory factory) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ensure_builtins_locked(reg);
+  register_locked(reg, std::move(name), std::move(factory));
+}
+
+std::unique_ptr<DataSource> make_scenario(std::string_view name,
+                                          const SourceOptions& options) {
+  SourceFactory factory;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    ensure_builtins_locked(reg);
+    const auto it = reg.factories.find(std::string(name));
+    if (it == reg.factories.end()) {
+      std::ostringstream message;
+      message << "make_scenario: unknown scenario \"" << name
+              << "\"; registered scenarios:";
+      for (const auto& [key, unused] : reg.factories) {
+        message << " \"" << key << "\"";
+      }
+      throw std::invalid_argument(message.str());
+    }
+    factory = it->second;
+  }
+  return factory(options);
+}
+
+std::vector<std::string> scenario_names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ensure_builtins_locked(reg);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [key, unused] : reg.factories) names.push_back(key);
+  return names;  // std::map iterates sorted
+}
+
+core::Scenario as_scenario(std::shared_ptr<const DataSource> source,
+                           std::string metric) {
+  return [source = std::move(source), metric = std::move(metric)](
+             double p, std::uint64_t seed) {
+    return source->run(p, seed).column(metric);
+  };
+}
+
+LabConfig canonical_lab_config() {
+  LabConfig config;  // 10 Gb/s dumbbell, 10 apps, 3 s warmup + 10 s window
+  return config;
+}
+
+video::ClusterConfig canonical_experiment_config() {
+  video::ClusterConfig config;  // 5-day week, 95%/5% capping
+  config.seed = 2021;
+  return config;
+}
+
+video::ClusterConfig canonical_baseline_config() {
+  video::ClusterConfig config = canonical_experiment_config();
+  config.seed = 1917;
+  config.treat_probability[0] = 0.0;
+  config.treat_probability[1] = 0.0;
+  return config;
+}
+
+}  // namespace xp::lab

@@ -1,0 +1,63 @@
+// String-keyed scenario registry: every data-generating world the library
+// knows how to run, published under one name and one interface.
+//
+// Built-in entries wrap the paper's scenarios:
+//
+//   dumbbell/two_connections   Section 3 lab, 1 -> 2 parallel connections
+//   dumbbell/pacing            Section 3 lab, unpaced -> paced Reno
+//   dumbbell/bbr_vs_cubic      Section 3 lab, Cubic -> BBR
+//   paired_links/experiment    Section 4 capping week (allocation p on the
+//                              mostly-treated link, 1-p on the other;
+//                              p = 0.95 reproduces the paper's 95%/5%)
+//   paired_links/baseline      Section 4.1 A/A week (no treatment anywhere;
+//                              ignores the allocation)
+//
+// The canonical configurations live in this translation unit only —
+// benches, examples, and tests all obtain them from here.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/designs/gradual.h"
+#include "lab/datasource.h"
+#include "lab/scenarios.h"
+#include "video/cluster.h"
+
+namespace xp::lab {
+
+/// Knobs every factory honors. duration_scale shrinks the simulated
+/// horizon proportionally (dumbbell warmup+duration, cluster days);
+/// 1.0 is the paper-scale canonical run, tests use ~0.05 smoke runs.
+struct SourceOptions {
+  double duration_scale = 1.0;
+};
+
+using SourceFactory =
+    std::function<std::unique_ptr<DataSource>(const SourceOptions&)>;
+
+/// Publish a scenario. Throws std::invalid_argument on duplicate names.
+void register_scenario(std::string name, SourceFactory factory);
+
+/// Instantiate a registered scenario. Unknown names throw
+/// std::invalid_argument listing every registered scenario.
+std::unique_ptr<DataSource> make_scenario(std::string_view name,
+                                          const SourceOptions& options = {});
+
+/// Sorted names of all registered scenarios (built-ins included).
+std::vector<std::string> scenario_names();
+
+/// Adapt one metric column of a data source into the core::Scenario
+/// callable the designs in core/designs/ consume.
+core::Scenario as_scenario(std::shared_ptr<const DataSource> source,
+                           std::string metric);
+
+/// Canonical configurations (the single source of truth).
+LabConfig canonical_lab_config();
+video::ClusterConfig canonical_experiment_config();  ///< 5-day 95%/5% week
+video::ClusterConfig canonical_baseline_config();    ///< 5-day A/A week
+
+}  // namespace xp::lab

@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "lab/runner.h"
+#include "util/runner.h"
 #include "stats/descriptive.h"
 
 namespace xp::stats {
@@ -42,11 +42,11 @@ BootstrapInterval summarize_replicates(double point,
 BootstrapInterval bootstrap_ci(std::span<const double> sample,
                                const Statistic& statistic, Rng& rng,
                                std::size_t replicates,
-                               double confidence_level, lab::Runner* runner) {
+                               double confidence_level, util::Runner* runner) {
   if (sample.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
   const std::uint64_t base = rng.next();
   std::vector<double> stats(replicates);
-  lab::Runner& pool = runner ? *runner : lab::global_runner();
+  util::Runner& pool = runner ? *runner : util::global_runner();
   pool.parallel_for(replicates, [&](std::size_t r) {
     Rng rep_rng = replicate_rng(base, r);
     stats[r] = statistic(resample(sample, rep_rng));
@@ -59,13 +59,13 @@ BootstrapInterval bootstrap_two_sample_ci(std::span<const double> a,
                                           const TwoSampleStatistic& statistic,
                                           Rng& rng, std::size_t replicates,
                                           double confidence_level,
-                                          lab::Runner* runner) {
+                                          util::Runner* runner) {
   if (a.empty() || b.empty()) {
     throw std::invalid_argument("bootstrap_two_sample_ci: empty sample");
   }
   const std::uint64_t base = rng.next();
   std::vector<double> stats(replicates);
-  lab::Runner& pool = runner ? *runner : lab::global_runner();
+  util::Runner& pool = runner ? *runner : util::global_runner();
   pool.parallel_for(replicates, [&](std::size_t r) {
     Rng rep_rng = replicate_rng(base, r);
     const std::vector<double> draw_a = resample(a, rep_rng);

@@ -15,8 +15,8 @@
 
 #include "stats/rng.h"
 
-namespace xp::lab {
-class Runner;  // replicates fan out on the lab runner (see runner.h)
+namespace xp::util {
+class Runner;  // replicates fan out on the util runner (see util/runner.h)
 }
 
 namespace xp::stats {
@@ -42,7 +42,7 @@ BootstrapInterval bootstrap_ci(std::span<const double> sample,
                                const Statistic& statistic, Rng& rng,
                                std::size_t replicates = 1000,
                                double confidence_level = 0.95,
-                               lab::Runner* runner = nullptr);
+                               util::Runner* runner = nullptr);
 
 /// Percentile bootstrap for a two-sample contrast; resamples each group
 /// independently (appropriate for A/B cells).
@@ -52,6 +52,6 @@ BootstrapInterval bootstrap_two_sample_ci(std::span<const double> a,
                                           Rng& rng,
                                           std::size_t replicates = 1000,
                                           double confidence_level = 0.95,
-                                          lab::Runner* runner = nullptr);
+                                          util::Runner* runner = nullptr);
 
 }  // namespace xp::stats

@@ -1,4 +1,4 @@
-#include "lab/runner.h"
+#include "util/runner.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
-namespace xp::lab {
+namespace xp::util {
 
 namespace {
 
@@ -163,4 +163,4 @@ Runner& global_runner() {
   return runner;
 }
 
-}  // namespace xp::lab
+}  // namespace xp::util

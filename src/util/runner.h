@@ -1,0 +1,70 @@
+// Deterministic parallel experiment runner.
+//
+// Every figure in the paper re-runs the same congested-network scenario
+// dozens to hundreds of times (allocation sweeps, bootstrap replicates,
+// paired-link cells, A/A weeks). The runs are embarrassingly parallel and
+// each one is single-threaded by design, so the runner fans independent
+// jobs across a thread pool while preserving the library's reproducibility
+// contract:
+//
+//  - Results are written into an index-addressed output slot, never
+//    appended, so output order is independent of completion order.
+//  - Jobs must derive their randomness from their own index (counter-based
+//    substreams via stats::mix64 / an explicit per-job seed), never from a
+//    shared mutable RNG.
+//
+// Under those two rules a parallel run is bit-for-bit identical at any
+// thread count, including 1.
+//
+// The calling thread participates in draining its own job, so nested
+// parallel_for calls (a bootstrap inside a sweep point) cannot deadlock
+// and a Runner with 1 thread degrades to plain serial execution.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace xp::util {
+
+class Runner {
+ public:
+  /// `threads` counts workers INCLUDING the calling thread; 0 picks
+  /// default_thread_count(). A Runner with threads == 1 spawns nothing.
+  explicit Runner(std::size_t threads = 0);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Total threads that can execute jobs (workers + caller).
+  std::size_t thread_count() const noexcept;
+
+  /// Run body(0) .. body(n-1), in parallel, returning when all complete.
+  /// The first exception thrown by any index is rethrown to the caller
+  /// (remaining indices still run). Safe to call from inside a body.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Map i -> job(i) into an index-ordered vector.
+  template <typename R>
+  std::vector<R> map(std::size_t n,
+                     const std::function<R(std::size_t)>& job) {
+    std::vector<R> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = job(i); });
+    return out;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Worker count used by the process-wide runner: the XP_THREADS environment
+/// variable when set, else std::thread::hardware_concurrency().
+std::size_t default_thread_count();
+
+/// Process-wide shared runner (lazily constructed, default_thread_count()).
+Runner& global_runner();
+
+}  // namespace xp::util

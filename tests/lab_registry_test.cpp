@@ -1,0 +1,186 @@
+// Scenario registry + experiment pipeline: every registered scenario runs
+// through the one ExperimentSpec -> run_experiment -> Report pipeline and
+// is bit-for-bit identical at any thread count; unknown names fail with a
+// clear error naming the alternatives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/designs/gradual.h"
+#include "lab/experiment.h"
+#include "lab/registry.h"
+#include "util/runner.h"
+
+namespace xp {
+namespace {
+
+// Smoke-scale worlds: a sliver of the canonical horizons so the full
+// registry sweep stays fast while still exercising both backends.
+lab::SourceOptions smoke_options() {
+  lab::SourceOptions options;
+  options.duration_scale = 0.04;
+  return options;
+}
+
+void expect_tables_identical(const lab::ObservationTable& a,
+                             const lab::ObservationTable& b) {
+  ASSERT_EQ(a.metrics, b.metrics);
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  for (std::size_t c = 0; c < a.columns.size(); ++c) {
+    ASSERT_EQ(a.columns[c].size(), b.columns[c].size()) << a.metrics[c];
+    for (std::size_t r = 0; r < a.columns[c].size(); ++r) {
+      const core::Observation& x = a.columns[c][r];
+      const core::Observation& y = b.columns[c][r];
+      EXPECT_EQ(x.unit, y.unit);
+      EXPECT_EQ(x.account, y.account);
+      EXPECT_EQ(x.treated, y.treated);
+      // Bit-for-bit, not approximately: the determinism contract.
+      EXPECT_EQ(x.outcome, y.outcome);
+      EXPECT_EQ(x.hour_of_day, y.hour_of_day);
+      EXPECT_EQ(x.hour_index, y.hour_index);
+      EXPECT_EQ(x.day, y.day);
+      EXPECT_EQ(x.group, y.group);
+    }
+  }
+  ASSERT_EQ(a.aggregate_names, b.aggregate_names);
+  for (std::size_t i = 0; i < a.aggregates.size(); ++i) {
+    EXPECT_EQ(a.aggregates[i], b.aggregates[i]) << a.aggregate_names[i];
+  }
+  ASSERT_EQ(a.series_names, b.series_names);
+  ASSERT_EQ(a.series, b.series);
+}
+
+TEST(Registry, ListsTheBuiltinScenarios) {
+  const auto names = lab::scenario_names();
+  for (const char* expected :
+       {"dumbbell/two_connections", "dumbbell/pacing",
+        "dumbbell/bbr_vs_cubic", "paired_links/experiment",
+        "paired_links/baseline"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing scenario: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, UnknownNameFailsWithClearError) {
+  try {
+    lab::make_scenario("no/such/scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown scenario"), std::string::npos) << message;
+    EXPECT_NE(message.find("no/such/scenario"), std::string::npos) << message;
+    // The error lists the registered scenarios so the fix is obvious.
+    EXPECT_NE(message.find("dumbbell/two_connections"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("paired_links/experiment"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(
+      lab::register_scenario("dumbbell/pacing",
+                             [](const lab::SourceOptions&)
+                                 -> std::unique_ptr<lab::DataSource> {
+                               return nullptr;
+                             }),
+      std::invalid_argument);
+}
+
+TEST(Registry, EveryScenarioIsBitIdenticalAcrossThreadCounts) {
+  util::Runner serial(1);
+  util::Runner pool(4);
+  for (const std::string& name : lab::scenario_names()) {
+    SCOPED_TRACE(name);
+    lab::ExperimentSpec spec;
+    spec.scenario = name;
+    spec.tuning = smoke_options();
+    spec.replicates = 2;
+    spec.seed = 7;
+
+    const auto report1 = lab::run_experiment(spec, serial);
+    const auto reportN = lab::run_experiment(spec, pool);
+
+    ASSERT_EQ(report1.allocations, reportN.allocations);
+    ASSERT_EQ(report1.cells.size(), reportN.cells.size());
+    for (std::size_t i = 0; i < report1.cells.size(); ++i) {
+      EXPECT_EQ(report1.cells[i].allocation, reportN.cells[i].allocation);
+      EXPECT_EQ(report1.cells[i].replicate, reportN.cells[i].replicate);
+      EXPECT_EQ(report1.cells[i].seed, reportN.cells[i].seed);
+      expect_tables_identical(report1.cells[i].table,
+                              reportN.cells[i].table);
+    }
+  }
+}
+
+TEST(Pipeline, DefaultAllocationComesFromTheSource) {
+  lab::ExperimentSpec spec;
+  spec.scenario = "paired_links/experiment";
+  spec.tuning = smoke_options();
+  const auto report = lab::run_experiment(spec);
+  ASSERT_EQ(report.allocations.size(), 1u);
+  // The canonical paired-link experiment treats 95% on link 1.
+  EXPECT_DOUBLE_EQ(report.allocations[0], 0.95);
+}
+
+TEST(Pipeline, CellSeedsAreIndexDerived) {
+  // Same spec seed -> same cell seeds; distinct indices -> distinct seeds.
+  EXPECT_EQ(lab::cell_seed(42, 0), lab::cell_seed(42, 0));
+  EXPECT_NE(lab::cell_seed(42, 0), lab::cell_seed(42, 1));
+  EXPECT_NE(lab::cell_seed(42, 0), lab::cell_seed(43, 0));
+}
+
+TEST(Pipeline, ReplicateWorldsAreIndependent) {
+  lab::ExperimentSpec spec;
+  spec.scenario = "dumbbell/two_connections";
+  spec.tuning = smoke_options();
+  spec.replicates = 2;
+  const auto report = lab::run_experiment(spec);
+  const auto& first = report.cell(0, 0).table.column("avg throughput");
+  const auto& second = report.cell(0, 1).table.column("avg throughput");
+  ASSERT_EQ(first.size(), second.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    any_difference |= first[i].outcome != second[i].outcome;
+  }
+  EXPECT_TRUE(any_difference) << "replicates reused the same seed";
+}
+
+TEST(Pipeline, TableLookupFailsWithClearError) {
+  lab::ExperimentSpec spec;
+  spec.scenario = "dumbbell/pacing";
+  spec.tuning = smoke_options();
+  const auto report = lab::run_experiment(spec);
+  try {
+    report.cell(0, 0).table.column("no such metric");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("no such metric"), std::string::npos) << message;
+    EXPECT_NE(message.find("avg throughput"), std::string::npos) << message;
+  }
+}
+
+TEST(Pipeline, RegistryScenarioDrivesTheGradualDesign) {
+  // The unified seam: a registered backend feeds a core/ design directly.
+  std::shared_ptr<const lab::DataSource> source =
+      lab::make_scenario("dumbbell/two_connections", smoke_options());
+  const core::Scenario scenario =
+      lab::as_scenario(source, "avg throughput");
+  core::GradualOptions options;
+  options.allocations = {0.3, 0.7};
+  options.replications = 2;
+  const auto report = core::run_gradual_deployment(scenario, options);
+  ASSERT_EQ(report.steps.size(), 2u);
+  for (const auto& step : report.steps) {
+    EXPECT_GT(step.mu_treated, 0.0);
+    EXPECT_GT(step.mu_control, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace xp
