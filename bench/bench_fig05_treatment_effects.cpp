@@ -1,61 +1,42 @@
 // Figure 5: the headline table — per-metric treatment effects with 95%
 // CIs in the bitrate-capping paired-link experiment: naive tau(0.05),
 // naive tau(0.95), approximate TTE, and spillover, all relative to the
-// global control cell. Runs as bootstrap weeks on the experiment
-// pipeline: independent replicate weeks fan across the runner and the
-// across-week spread of each TTE shows how stable one realized week is.
+// global control cell. One declarative spec: bootstrap weeks fan across
+// the runner and the registry estimators analyze them in the same pass;
+// the across-week spread of each TTE shows how stable one realized week
+// is.
 #include <iostream>
-#include <vector>
 
 #include "bench/bench_util.h"
-#include "core/designs/paired_link.h"
 #include "core/report.h"
+#include "core/session_metrics.h"
 
 int main() {
   constexpr std::size_t kWeeks = 3;
   xp::bench::header(
       "Figure 5 — treatment effects in the bitrate-capping paired-link "
       "experiment (5 days)");
-  const auto weeks =
-      xp::bench::bootstrap_weeks("paired_links/experiment", kWeeks);
-
-  // Week 1 gets the full Figure-5 analysis (all four estimands); later
-  // weeks only feed the TTE-stability band, so they run just the TTE
-  // contrast regression.
-  std::vector<xp::core::PairedLinkReport> week1;
-  const std::size_t num_metrics = std::size(xp::core::kAllMetrics);
-  std::vector<std::vector<double>> ttes(num_metrics);
-  for (std::size_t w = 0; w < kWeeks; ++w) {
-    const auto& table = weeks.cell(0, w).table;
-    for (std::size_t m = 0; m < num_metrics; ++m) {
-      const auto& rows =
-          table.column(xp::core::metric_name(xp::core::kAllMetrics[m]));
-      if (w == 0) {
-        auto report = xp::core::analyze_paired_link(rows);
-        report.metric = xp::core::kAllMetrics[m];
-        ttes[m].push_back(100.0 * report.tte.relative());
-        week1.push_back(std::move(report));
-      } else {
-        const auto tte =
-            xp::core::hourly_fe_analysis(xp::core::tte_contrast(rows));
-        ttes[m].push_back(100.0 * tte.relative());
-      }
-    }
-  }
+  const auto report = xp::bench::bootstrap_weeks(
+      "paired_links/experiment", kWeeks,
+      {"naive/ab", "paired_link/tte", "paired_link/spillover"});
 
   std::printf("week 1 of %zu (sessions: %zu)\n\n", kWeeks,
-              week1[0].cell_count[0][0] + week1[0].cell_count[0][1] +
-                  week1[0].cell_count[1][0] + week1[0].cell_count[1][1]);
-  xp::core::print_figure5_table(std::cout, week1);
+              report.cell(0, 0).table.column("avg throughput").size());
+  const auto& tte = report.estimates_for("paired_link/tte");
+  xp::core::print_figure5_table(std::cout,
+                                report.estimates_for("naive/ab"), tte,
+                                report.estimates_for("paired_link/spillover"));
 
   std::printf("\nTTE stability across %zu independent replicate weeks "
               "(relative effect, mean [min, max]):\n",
               kWeeks);
-  for (std::size_t m = 0; m < num_metrics; ++m) {
-    const auto spread = xp::bench::across_weeks(ttes[m]);
-    std::printf("  %-22s %+6.1f%%  [%+6.1f%%, %+6.1f%%]\n",
-                std::string(metric_name(week1[m].metric)).c_str(),
-                spread.mean, spread.min, spread.max);
+  for (auto metric : xp::core::kAllMetrics) {
+    const std::string name(xp::core::metric_name(metric));
+    const auto spread =
+        xp::core::relative_spread(tte.row(name + "/tte"));
+    std::printf("  %-22s %+6.1f%%  [%+6.1f%%, %+6.1f%%]\n", name.c_str(),
+                spread.mean * 100.0, spread.min * 100.0,
+                spread.max * 100.0);
   }
 
   std::printf(

@@ -1,84 +1,50 @@
 // Figure 10: TTE as estimated by the paired-link experiment, an emulated
-// switchback (alternating days), and an emulated event study (switch
-// between day 2 and 3) — Section 5.3. Switchbacks track the paired-link
-// estimates; event studies are biased where seasonality moves metrics.
-// Bootstrap weeks on the experiment pipeline: every design re-analyzes
-// the same replicate weeks, so the columns are directly comparable.
+// switchback (alternating days), and an emulated event study (mid-week
+// switch) — Section 5.3. Switchbacks track the paired-link estimates;
+// event studies are biased where seasonality moves metrics. One spec:
+// every design is a registry estimator re-analyzing the same replicate
+// weeks, so the columns are directly comparable.
 #include <cstdio>
-#include <vector>
+#include <string>
 
 #include "bench/bench_util.h"
-#include "core/designs/event_study.h"
-#include "core/designs/paired_link.h"
-#include "core/designs/switchback.h"
 #include "core/report.h"
+#include "core/session_metrics.h"
 
 int main() {
   constexpr std::size_t kWeeks = 3;
   xp::bench::header(
       "Figure 10 — TTE from paired link vs switchback vs event study "
       "(averaged over replicate weeks)");
-  const auto weeks =
-      xp::bench::bootstrap_weeks("paired_links/experiment", kWeeks);
-
-  xp::core::SwitchbackOptions switchback;
-  // Alternating-day assignment with random initial arm (Section 5.3:
-  // days 1, 3, 5 treated in the realized draw).
-  switchback.day_treated = {true, false, true, false, true};
-
-  xp::core::EventStudyOptions event_study;
-  event_study.switch_day = 3;  // "between Thursday and Friday"
-
-  // Per-week, per-metric analyses, computed once: week 1 carries the
-  // formatted intervals, the across-week table below reuses the rest.
-  struct DesignRow {
-    xp::core::EffectEstimate paired, sb, es;
-  };
-  std::vector<std::vector<DesignRow>> by_week(kWeeks);
-  for (std::size_t w = 0; w < kWeeks; ++w) {
-    for (auto metric : xp::core::kAllMetrics) {
-      const auto& rows =
-          weeks.cell(0, w).table.column(xp::core::metric_name(metric));
-      DesignRow row;
-      // The bare TTE contrast regression — its baseline is the same
-      // link-2 control-cell mean the full analyze_paired_link would set.
-      row.paired =
-          xp::core::hourly_fe_analysis(xp::core::tte_contrast(rows));
-      row.sb = xp::core::switchback_tte(rows, switchback);
-      row.es = xp::core::event_study_tte(rows, event_study);
-      row.sb.baseline = row.paired.baseline;
-      row.es.baseline = row.paired.baseline;
-      by_week[w].push_back(row);
-    }
-  }
+  const auto report = xp::bench::bootstrap_weeks(
+      "paired_links/experiment", kWeeks,
+      {"paired_link/tte", "switchback/tte", "event_study/tte"});
+  const auto& paired = report.estimates_for("paired_link/tte");
+  const auto& sb = report.estimates_for("switchback/tte");
+  const auto& es = report.estimates_for("event_study/tte");
 
   std::printf("%-22s | %-32s %-32s %-32s\n", "metric", "paired link",
               "switchback", "event study");
-  for (std::size_t m = 0; m < std::size(xp::core::kAllMetrics); ++m) {
-    const DesignRow& row = by_week[0][m];
+  for (auto metric : xp::core::kAllMetrics) {
+    const std::string key = std::string(metric_name(metric)) + "/tte";
     std::printf("%-22s | %-32s %-32s %-32s\n",
-                std::string(metric_name(xp::core::kAllMetrics[m])).c_str(),
-                xp::core::format_relative(row.paired).c_str(),
-                xp::core::format_relative(row.sb).c_str(),
-                xp::core::format_relative(row.es).c_str());
+                std::string(metric_name(metric)).c_str(),
+                xp::core::format_relative(paired.row(key).effect()).c_str(),
+                xp::core::format_relative(sb.row(key).effect()).c_str(),
+                xp::core::format_relative(es.row(key).effect()).c_str());
   }
 
   std::printf("\nacross-week mean relative TTE (%zu replicate weeks):\n",
               kWeeks);
   std::printf("%-22s | %12s %12s %12s\n", "metric", "paired", "switchback",
               "event study");
-  for (std::size_t m = 0; m < std::size(xp::core::kAllMetrics); ++m) {
-    std::vector<double> paired_ttes, sb_ttes, es_ttes;
-    for (std::size_t w = 0; w < kWeeks; ++w) {
-      paired_ttes.push_back(100.0 * by_week[w][m].paired.relative());
-      sb_ttes.push_back(100.0 * by_week[w][m].sb.relative());
-      es_ttes.push_back(100.0 * by_week[w][m].es.relative());
-    }
+  for (auto metric : xp::core::kAllMetrics) {
+    const std::string key = std::string(metric_name(metric)) + "/tte";
     std::printf("%-22s | %+11.1f%% %+11.1f%% %+11.1f%%\n",
-                std::string(metric_name(xp::core::kAllMetrics[m])).c_str(),
-                xp::bench::across_weeks(paired_ttes).mean,
-                xp::bench::across_weeks(sb_ttes).mean,
-                xp::bench::across_weeks(es_ttes).mean);
+                std::string(metric_name(metric)).c_str(),
+                100.0 * xp::core::relative_spread(paired.row(key)).mean,
+                100.0 * xp::core::relative_spread(sb.row(key)).mean,
+                100.0 * xp::core::relative_spread(es.row(key)).mean);
   }
   std::printf(
       "\n(paper: switchback CIs cover every paired-link TTE; the event "

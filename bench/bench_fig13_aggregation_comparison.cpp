@@ -2,50 +2,45 @@
 // aggregation with Newey-West errors (the paper's conservative choice) vs
 // standard account-level errors. Account-level intervals are far tighter
 // because they assume sessions are independent, which congestion makes
-// false. Bootstrap weeks on the experiment pipeline: the width ratio is
+// false. Both reads are rows of the one paired_link/tte estimator, so
+// the bench is a single spec plus formatting; the width ratio is
 // averaged across replicate weeks.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/analysis.h"
-#include "core/designs/paired_link.h"
 #include "core/report.h"
+#include "core/session_metrics.h"
 
 int main() {
   constexpr std::size_t kWeeks = 3;
   xp::bench::header(
       "Figure 13 — hourly (Newey-West) vs account-level aggregation");
-  const auto weeks =
-      xp::bench::bootstrap_weeks("paired_links/experiment", kWeeks);
+  const auto report = xp::bench::bootstrap_weeks(
+      "paired_links/experiment", kWeeks, {"paired_link/tte"});
+  const auto& tte = report.estimates_for("paired_link/tte");
 
   std::printf("%-22s | %-34s %-34s %8s\n", "metric",
               "hourly FE + NW (paper default)", "account-level Welch",
               "width x");
   for (auto metric : xp::core::kAllMetrics) {
+    const std::string name(metric_name(metric));
+    const auto& hourly = tte.row(name + "/tte");
+    const auto& account = tte.row(name + "/tte(account)");
     std::vector<double> ratios;
-    xp::core::EffectEstimate hourly_week1, account_week1;
     for (std::size_t w = 0; w < kWeeks; ++w) {
-      // TTE contrast rows: treated on link 1 vs control on link 2.
-      const auto obs = xp::core::tte_contrast(
-          weeks.cell(0, w).table.column(xp::core::metric_name(metric)));
-      const auto hourly = xp::core::hourly_fe_analysis(obs);
-      const auto account = xp::core::account_level_analysis(obs);
-      if (w == 0) {
-        hourly_week1 = hourly;
-        account_week1 = account;
-      }
-      if (account.ci_high - account.ci_low > 0.0) {
-        ratios.push_back((hourly.ci_high - hourly.ci_low) /
-                         (account.ci_high - account.ci_low));
+      const auto& h = hourly.replicates[w];
+      const auto& a = account.replicates[w];
+      if (a.ci_high - a.ci_low > 0.0) {
+        ratios.push_back((h.ci_high - h.ci_low) / (a.ci_high - a.ci_low));
       }
     }
     const double width_ratio =
         ratios.empty() ? 0.0 : xp::bench::across_weeks(ratios).mean;
-    std::printf("%-22s | %-34s %-34s %7.1fx\n",
-                std::string(metric_name(metric)).c_str(),
-                xp::core::format_relative(hourly_week1).c_str(),
-                xp::core::format_relative(account_week1).c_str(),
+    std::printf("%-22s | %-34s %-34s %7.1fx\n", name.c_str(),
+                xp::core::format_relative(hourly.effect()).c_str(),
+                xp::core::format_relative(account.effect()).c_str(),
                 width_ratio);
   }
   std::printf(

@@ -46,12 +46,15 @@ std::pair<video::ClusterResult, video::ClusterResult> baseline_and_experiment(
 }
 
 lab::ExperimentReport bootstrap_weeks(const std::string& scenario,
-                                      std::size_t weeks, std::uint64_t seed,
+                                      std::size_t weeks,
+                                      std::vector<std::string> estimators,
+                                      std::uint64_t seed,
                                       double duration_scale) {
   lab::ExperimentSpec spec;
   spec.scenario = scenario;
   spec.tuning.duration_scale = duration_scale;
   spec.replicates = weeks;
+  spec.estimators = std::move(estimators);
   spec.seed = seed;
   return lab::run_experiment(spec);
 }

@@ -35,11 +35,12 @@ std::pair<video::ClusterResult, video::ClusterResult> baseline_and_experiment(
 
 /// `weeks` independent replicate worlds of a registered scenario at its
 /// default allocation, fanned across the process-wide runner (the
-/// bootstrap-week harness of the Figure 5/10-13 benches).
-lab::ExperimentReport bootstrap_weeks(const std::string& scenario,
-                                      std::size_t weeks,
-                                      std::uint64_t seed = 2021,
-                                      double duration_scale = 1.0);
+/// bootstrap-week harness of the Figure 5/10-13 benches), analyzed in
+/// the same pass by the named registry estimators (core/estimator.h).
+lab::ExperimentReport bootstrap_weeks(
+    const std::string& scenario, std::size_t weeks,
+    std::vector<std::string> estimators = {}, std::uint64_t seed = 2021,
+    double duration_scale = 1.0);
 
 /// Across-week spread of a per-week statistic.
 struct WeekSpread {

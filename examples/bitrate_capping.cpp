@@ -1,41 +1,51 @@
-// The Section 4 scenario end-to-end: run a paired-link bitrate-capping
-// experiment on the streaming substrate and print the four estimands for
-// the key metrics — showing how naive A/B tests mislead while the paired
-// design recovers TTE and spillover.
+// The Section 4 scenario end-to-end on the declarative pipeline: one
+// spec runs the paired-link bitrate-capping week and reads it with the
+// naive, TTE and spillover estimators — showing how naive A/B tests
+// mislead while the paired design recovers TTE and spillover.
 #include <cstdio>
 #include <string>
 
-#include "core/designs/paired_link.h"
 #include "core/report.h"
-#include "video/cluster.h"
+#include "core/session_metrics.h"
+#include "lab/experiment.h"
 
 int main() {
   // Two days keeps this example snappy; the bench binaries run 5 days.
-  xp::video::ClusterConfig config;
-  config.days = 2.0;
-  config.seed = 7;
-  std::printf("simulating 2 days of paired-link streaming traffic...\n");
-  const auto run = xp::video::run_paired_links(config);
-  std::printf("sessions: %zu; peak concurrency %0.f / %0.f; peak queueing "
-              "delay %.0f ms / %.0f ms\n\n",
-              run.sessions.size(), run.stats.peak_concurrency[0],
-              run.stats.peak_concurrency[1],
-              run.stats.max_queueing_delay[0] * 1e3,
-              run.stats.max_queueing_delay[1] * 1e3);
+  xp::lab::ExperimentSpec spec;
+  spec.scenario = "paired_links/experiment";
+  spec.tuning.duration_scale = 0.4;
+  spec.estimators = {"naive/ab", "paired_link/tte",
+                     "paired_link/spillover"};
+  spec.seed = 7;
 
+  std::printf("simulating 2 days of paired-link streaming traffic...\n");
+  const auto report = xp::lab::run_experiment(spec);
+  std::printf("sessions: %zu\n\n",
+              report.cell(0, 0).table.column("avg throughput").size());
+
+  const auto& naive = report.estimates_for("naive/ab");
+  const auto& tte = report.estimates_for("paired_link/tte");
+  const auto& spill = report.estimates_for("paired_link/spillover");
   for (auto metric :
        {xp::core::Metric::kMinRtt, xp::core::Metric::kThroughput,
         xp::core::Metric::kBitrate, xp::core::Metric::kPlayDelay}) {
-    const auto report = xp::core::analyze_paired_link(run.sessions, metric);
-    std::printf("%s:\n", std::string(metric_name(metric)).c_str());
+    const std::string name(metric_name(metric));
+    std::printf("%s:\n", name.c_str());
     std::printf("  naive tau(0.05): %s\n",
-                xp::core::format_relative(report.naive_low).c_str());
+                xp::core::format_relative(
+                    naive.row(name + "/tau(link2)").effect())
+                    .c_str());
     std::printf("  naive tau(0.95): %s\n",
-                xp::core::format_relative(report.naive_high).c_str());
+                xp::core::format_relative(
+                    naive.row(name + "/tau(link1)").effect())
+                    .c_str());
     std::printf("  TTE            : %s\n",
-                xp::core::format_relative(report.tte).c_str());
+                xp::core::format_relative(tte.row(name + "/tte").effect())
+                    .c_str());
     std::printf("  spillover      : %s\n\n",
-                xp::core::format_relative(report.spillover).c_str());
+                xp::core::format_relative(
+                    spill.row(name + "/spillover").effect())
+                    .c_str());
   }
   std::printf(
       "note how the within-link (naive) estimates sit near zero while the "

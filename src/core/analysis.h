@@ -42,6 +42,10 @@ struct AnalysisOptions {
   /// Baseline for relative effects: when 0, uses the control-arm mean of
   /// the supplied rows.
   double baseline_override = 0.0;
+  /// Resampling analyses (the quantile-effect bootstrap) draw this many
+  /// replicates; smoke tests shrink it the way duration_scale shrinks
+  /// simulated horizons.
+  std::size_t bootstrap_replicates = 600;
 };
 
 /// Pipeline 1: hourly aggregation -> hour-of-day FE regression ->

@@ -53,13 +53,11 @@ PairedLinkReport analyze_paired_link(std::span<const Observation> rows,
     RowFilter exposed_filter;
     exposed_filter.link = hi;
     exposed_filter.treated = 0;
-    auto obs = select(rows, exposed_filter, /*relabel=*/1);
     RowFilter control_filter;
     control_filter.link = lo;
     control_filter.treated = 0;
-    const auto control = select(rows, control_filter, /*relabel=*/0);
-    obs.insert(obs.end(), control.begin(), control.end());
-    report.spillover = hourly_fe_analysis(obs, analysis);
+    report.spillover = hourly_fe_analysis(
+        cross_cell_contrast(rows, exposed_filter, control_filter), analysis);
   }
 
   return report;
@@ -89,12 +87,18 @@ std::vector<Observation> tte_contrast(std::span<const Observation> rows,
   RowFilter treated_filter;
   treated_filter.link = options.mostly_treated_link;
   treated_filter.treated = 1;
-  auto obs = select(rows, treated_filter, /*relabel=*/1);
   RowFilter control_filter;
   control_filter.link = options.mostly_control_link;
   control_filter.treated = 0;
-  const auto control = select(rows, control_filter, /*relabel=*/0);
-  obs.insert(obs.end(), control.begin(), control.end());
+  return cross_cell_contrast(rows, treated_filter, control_filter);
+}
+
+std::vector<Observation> cross_cell_contrast(std::span<const Observation> rows,
+                                             const RowFilter& exposed,
+                                             const RowFilter& control) {
+  auto obs = select(rows, exposed, /*relabel=*/1);
+  const auto other = select(rows, control, /*relabel=*/0);
+  obs.insert(obs.end(), other.begin(), other.end());
   return obs;
 }
 

@@ -63,4 +63,12 @@ std::vector<PairedLinkReport> analyze_all_metrics(
 std::vector<Observation> tte_contrast(std::span<const Observation> rows,
                                       const PairedLinkOptions& options = {});
 
+/// The general cross-cell pairing every paired analysis reduces to: rows
+/// matching `exposed` relabeled A=1 against rows matching `control`
+/// relabeled A=0. TTE, spillover, and the A/A link-similarity read are
+/// all instances of this.
+std::vector<Observation> cross_cell_contrast(std::span<const Observation> rows,
+                                             const RowFilter& exposed,
+                                             const RowFilter& control);
+
 }  // namespace xp::core

@@ -1,0 +1,67 @@
+#include "core/estimate_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/named_lookup.h"
+
+namespace xp::core {
+
+const EffectEstimate& EstimateRow::effect() const {
+  if (replicates.empty()) {
+    throw std::out_of_range("EstimateRow::effect: row \"" + metric + "/" +
+                            label + "\" has no replicates");
+  }
+  return replicates.front();
+}
+
+EstimateSpread relative_spread(const EstimateRow& row) {
+  if (row.replicates.empty()) {
+    throw std::invalid_argument("relative_spread: row \"" + row.metric +
+                                "/" + row.label + "\" has no replicates");
+  }
+  EstimateSpread spread;
+  spread.min = row.replicates.front().relative();
+  spread.max = spread.min;
+  double sum = 0.0;
+  for (const EffectEstimate& e : row.replicates) {
+    const double r = e.relative();
+    sum += r;
+    spread.min = std::min(spread.min, r);
+    spread.max = std::max(spread.max, r);
+  }
+  spread.mean = sum / static_cast<double>(row.replicates.size());
+  return spread;
+}
+
+void EstimateTable::add_row(EstimateRow row) {
+  std::string name = row.metric + "/" + row.label;
+  // Duplicate keys would be silently shadowed by row(): reject them, the
+  // same contract the scenario and estimator registries enforce.
+  if (has_row(name)) {
+    throw std::invalid_argument("EstimateTable::add_row: duplicate row \"" +
+                                name + "\"");
+  }
+  names.push_back(std::move(name));
+  rows.push_back(std::move(row));
+}
+
+bool EstimateTable::has_row(std::string_view name) const noexcept {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+const EstimateRow& EstimateTable::row(std::string_view name) const {
+  return detail::named_lookup("EstimateTable", "row", name, names, rows);
+}
+
+std::vector<const EstimateRow*> EstimateTable::metric_rows(
+    std::string_view metric) const {
+  std::vector<const EstimateRow*> out;
+  for (const EstimateRow& row : rows) {
+    if (row.metric == metric) out.push_back(&row);
+  }
+  return out;
+}
+
+}  // namespace xp::core

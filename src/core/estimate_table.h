@@ -1,0 +1,66 @@
+// The estimate-side mirror of ObservationTable: named rows of
+// EffectEstimate with confidence intervals and the per-replicate spread.
+//
+// One EstimateTable is what one estimator produces for one experiment
+// report. A row is keyed "<metric>/<label>" (e.g. "avg throughput/tte",
+// "min RTT/tau(link2)", "play delay/p99"); its replicates vector holds
+// the estimate computed from each replicate world independently, so the
+// headline number (replicate 0, the realized week) and the across-week
+// stability band both live in the same row.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/estimands.h"
+
+namespace xp::core {
+
+struct EstimateRow {
+  std::string metric;  ///< source ObservationTable column name
+  std::string label;   ///< estimand label within the metric, e.g. "tte"
+  Estimand estimand = Estimand::kAverageTreatmentEffect;
+  /// Allocation the row was read at (the report's first allocation when
+  /// the estimator is not allocation-specific).
+  double allocation = 0.0;
+  /// One estimate per replicate world; replicates[0] is the realized
+  /// week the headline tables print. A degenerate input (missing arm,
+  /// too few cells) yields a null estimate: p = 1, not significant.
+  std::vector<EffectEstimate> replicates;
+
+  /// The headline estimate (replicate 0); throws std::out_of_range when
+  /// the row has no replicates.
+  const EffectEstimate& effect() const;
+};
+
+/// Across-replicate spread of a row's relative effects (the Figure 5
+/// "TTE stability" band). Throws std::invalid_argument on an empty row.
+struct EstimateSpread {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+EstimateSpread relative_spread(const EstimateRow& row);
+
+struct EstimateTable {
+  std::string estimator;  ///< registry key that produced the table
+  std::vector<std::string> names;  ///< row keys: "<metric>/<label>"
+  std::vector<EstimateRow> rows;
+
+  /// Append a row; its key is derived as "<metric>/<label>". Throws
+  /// std::invalid_argument on a duplicate key (e.g. a spec sweeping the
+  /// same allocation twice), which row() would otherwise silently shadow.
+  void add_row(EstimateRow row);
+
+  bool has_row(std::string_view name) const noexcept;
+
+  /// Lookup by "<metric>/<label>" key; throws std::invalid_argument
+  /// naming the available rows on a miss.
+  const EstimateRow& row(std::string_view name) const;
+
+  /// All rows of one metric, in insertion order.
+  std::vector<const EstimateRow*> metric_rows(std::string_view metric) const;
+};
+
+}  // namespace xp::core

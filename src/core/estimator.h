@@ -1,0 +1,94 @@
+// First-class estimators: the analysis half of the spec -> data ->
+// estimate pipeline, mirroring the scenario registry on the data side.
+//
+// An Estimator turns a completed ExperimentReport (replicate observation
+// tables) into an EstimateTable (named EffectEstimate rows with CIs and
+// per-replicate spread). Every experiment design the paper compares is
+// published as one registry key:
+//
+//   naive/ab              account-level A/B read within each link
+//   paired_link/tte       approximate TTE from the paired-link contrast
+//                         (hourly FE row + the account-level Fig-13 row)
+//   paired_link/spillover spillover s(p) from the control-cell contrast
+//   switchback/tte        emulated switchback (alternating days), TTE
+//   event_study/tte       emulated event study (mid-week switch), TTE
+//   gradual/contrast      gradual-deployment reads: per-allocation tau
+//                         and spillover plus the cross-allocation TTE
+//   quantile/ladder       p50/p90/p99 quantile treatment effects
+//   aa/null               A/A null check (link-similarity difference)
+//
+// Implementations must be stateless after construction: estimate_metric
+// is called concurrently from pipeline threads, and any randomness (e.g.
+// bootstrap resampling) must derive from EstimatorOptions::seed so the
+// result is a pure function of (report, metric, options) — bit-for-bit
+// identical at any thread count.
+//
+// Degenerate inputs (a missing arm, too few hourly cells or accounts for
+// the underlying analysis) produce null rows — default EffectEstimates
+// with p = 1 and significant = false — rather than throwing: the
+// pipeline's job is to survey every requested estimator over every
+// metric, and one unanswerable (estimator, metric) pair must not destroy
+// the rest of the report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/estimate_table.h"
+#include "core/experiment_data.h"
+
+namespace xp::core {
+
+struct EstimatorOptions {
+  /// Substream base for resampling estimators (quantile bootstrap); the
+  /// pipeline derives it per (estimator, metric) with metric_seed().
+  std::uint64_t seed = 7;
+  AnalysisOptions analysis;
+};
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// The registry key this estimator is published under.
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Estimate rows for one metric column across all the report's cells.
+  virtual std::vector<EstimateRow> estimate_metric(
+      const ExperimentReport& report, std::string_view metric,
+      const EstimatorOptions& options) const = 0;
+
+  /// Full table: every metric of the report, serially. Each metric gets
+  /// the metric_seed(options.seed, index) substream, so this produces
+  /// exactly the table the parallel pipeline fan-out assembles.
+  EstimateTable estimate(const ExperimentReport& report,
+                         const EstimatorOptions& options = {}) const;
+};
+
+/// Deterministic substream for metric column `metric_index` under `base`
+/// (the same counter-based scheme as lab::cell_seed).
+std::uint64_t metric_seed(std::uint64_t base,
+                          std::size_t metric_index) noexcept;
+
+using EstimatorFactory = std::function<std::unique_ptr<Estimator>()>;
+
+/// Publish an estimator. Throws std::invalid_argument on duplicate names.
+/// The estimator's name() must equal the key it is registered under: the
+/// pipeline labels report tables by registry key while the serial
+/// Estimator::estimate path labels them by name(), and the two must
+/// agree for ExperimentReport::estimates_for to behave identically.
+void register_estimator(std::string name, EstimatorFactory factory);
+
+/// Instantiate a registered estimator. Unknown names throw
+/// std::invalid_argument listing every registered estimator.
+std::unique_ptr<Estimator> make_estimator(std::string_view name);
+
+/// Sorted names of all registered estimators (built-ins included).
+std::vector<std::string> estimator_names();
+
+}  // namespace xp::core

@@ -1,0 +1,49 @@
+// The data carried through the experiment pipeline: one cell per
+// (allocation, replicate) world, each holding the world's observation
+// table, plus — once the analysis stage has run — one EstimateTable per
+// requested estimator.
+//
+// These structs live in core/ (not lab/) so the Estimator interface can
+// consume a whole report without the core layer reaching up into lab/;
+// lab/experiment.h re-exports them under xp::lab for pipeline callers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/estimate_table.h"
+#include "core/observation_table.h"
+
+namespace xp::core {
+
+struct ExperimentCell {
+  double allocation = 0.0;
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;  ///< the derived per-cell seed actually used
+  ObservationTable table;
+};
+
+struct ExperimentReport {
+  std::string scenario;  ///< registry key the report was produced from
+  std::vector<double> allocations;
+  std::size_t replicates = 0;
+  /// Allocation-major: cells[a * replicates + r].
+  std::vector<ExperimentCell> cells;
+  /// One table per estimator the spec requested, in spec order.
+  std::vector<EstimateTable> estimates;
+
+  /// Checked access: out-of-range indices throw std::out_of_range naming
+  /// the scenario and the requested vs available indices.
+  const ExperimentCell& cell(std::size_t allocation_index,
+                             std::size_t replicate) const;
+
+  bool has_estimates(std::string_view estimator) const noexcept;
+
+  /// The table a named estimator produced; throws std::invalid_argument
+  /// listing the estimators that did run on a miss.
+  const EstimateTable& estimates_for(std::string_view estimator) const;
+};
+
+}  // namespace xp::core

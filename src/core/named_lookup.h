@@ -1,0 +1,37 @@
+// Internal helper for the name-keyed table types (ObservationTable,
+// EstimateTable): linear lookup over a parallel (names, values) pair that
+// throws std::invalid_argument naming every available entry on a miss —
+// the same contract the scenario and estimator registries follow.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xp::core::detail {
+
+[[noreturn]] inline void throw_unknown_name(
+    std::string_view owner, std::string_view kind, std::string_view name,
+    const std::vector<std::string>& known) {
+  std::ostringstream message;
+  message << owner << ": unknown " << kind << " \"" << name
+          << "\"; available:";
+  if (known.empty()) message << " (none)";
+  for (const std::string& k : known) message << " \"" << k << "\"";
+  throw std::invalid_argument(message.str());
+}
+
+template <typename T>
+const T& named_lookup(std::string_view owner, std::string_view kind,
+                      std::string_view name,
+                      const std::vector<std::string>& names,
+                      const std::vector<T>& values) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return values[i];
+  }
+  throw_unknown_name(owner, kind, name, names);
+}
+
+}  // namespace xp::core::detail

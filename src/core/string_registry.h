@@ -1,0 +1,91 @@
+// Internal helper shared by the scenario and estimator registries: a
+// mutex-guarded string-keyed factory map with install-builtins-on-first-
+// use, a duplicate-name throw on registration, and an unknown-name throw
+// that lists every registered key. Keeping both registries on one
+// implementation keeps their contracts (error wording, locking,
+// builtin installation) from drifting apart.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xp::core::detail {
+
+template <typename Factory>
+class StringRegistry {
+ public:
+  /// `kind` drives the error wording ("scenario", "estimator"); `install`
+  /// runs once, under the lock, before the first operation, publishing
+  /// the built-in factories.
+  StringRegistry(std::string kind,
+                 std::function<void(std::map<std::string, Factory>&)> install)
+      : kind_(std::move(kind)), install_(std::move(install)) {}
+
+  /// register_<kind>: throws std::invalid_argument on duplicate names.
+  void add(std::string name, Factory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_builtins_locked();
+    add_locked(std::move(name), std::move(factory));
+  }
+
+  /// make_<kind>: unknown names throw std::invalid_argument listing every
+  /// registered name. Returns the factory by value so callers invoke it
+  /// outside the lock.
+  Factory find(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_builtins_locked();
+    const auto it = factories_.find(std::string(name));
+    if (it == factories_.end()) {
+      std::ostringstream message;
+      message << "make_" << kind_ << ": unknown " << kind_ << " \"" << name
+              << "\"; registered " << kind_ << "s:";
+      for (const auto& [key, unused] : factories_) {
+        message << " \"" << key << "\"";
+      }
+      throw std::invalid_argument(message.str());
+    }
+    return it->second;
+  }
+
+  std::vector<std::string> names() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_builtins_locked();
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [key, unused] : factories_) out.push_back(key);
+    return out;  // std::map iterates sorted
+  }
+
+ private:
+  void add_locked(std::string name, Factory factory) {
+    if (!factories_.emplace(name, std::move(factory)).second) {
+      throw std::invalid_argument("register_" + kind_ + ": duplicate " +
+                                  kind_ + " \"" + name + "\"");
+    }
+  }
+
+  void ensure_builtins_locked() {
+    if (installed_) return;
+    installed_ = true;
+    std::map<std::string, Factory> builtins;
+    install_(builtins);
+    for (auto& [name, factory] : builtins) {
+      add_locked(name, std::move(factory));
+    }
+  }
+
+  std::string kind_;
+  std::function<void(std::map<std::string, Factory>&)> install_;
+  std::mutex mu_;
+  bool installed_ = false;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace xp::core::detail

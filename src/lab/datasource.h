@@ -10,44 +10,21 @@
 // pipeline, the designs in core/ — only ever sees this interface, so a
 // new backend (new treatment, trace replay, multi-bottleneck topology)
 // lands as one registry entry instead of a new bench binary.
+//
+// The table type itself lives in core/observation_table.h (it is pure
+// core vocabulary — named columns of core::Observation — and the core
+// Estimator interface consumes it); xp::lab re-exports it here so data
+// sources keep spelling lab::ObservationTable.
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <string_view>
-#include <vector>
 
-#include "core/observation.h"
+#include "core/observation_table.h"
 
 namespace xp::lab {
 
-/// The common output of every data source: named columns of unit
-/// observations (one column per metric, rows aligned across columns),
-/// named scalar aggregates (e.g. link utilization), and named time
-/// series (e.g. hourly utilization). Designs in core/ consume the
-/// columns directly.
-struct ObservationTable {
-  std::vector<std::string> metrics;  ///< column names (core metric names)
-  std::vector<std::vector<core::Observation>> columns;
-
-  std::vector<std::string> aggregate_names;
-  std::vector<double> aggregates;
-
-  std::vector<std::string> series_names;
-  std::vector<std::vector<double>> series;
-
-  void add_column(std::string metric, std::vector<core::Observation> rows);
-  void add_aggregate(std::string name, double value);
-  void add_series(std::string name, std::vector<double> values);
-
-  bool has_column(std::string_view metric) const noexcept;
-
-  /// Lookup by name; throws std::invalid_argument naming the available
-  /// entries on a miss.
-  const std::vector<core::Observation>& column(std::string_view metric) const;
-  double aggregate(std::string_view name) const;
-  const std::vector<double>& series_values(std::string_view name) const;
-};
+using ObservationTable = core::ObservationTable;
 
 /// One data-generating process. Implementations must be stateless after
 /// construction: run() is called concurrently from pipeline threads and

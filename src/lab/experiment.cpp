@@ -1,21 +1,22 @@
 #include "lab/experiment.h"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "stats/rng.h"
 
 namespace xp::lab {
 
-const ExperimentCell& ExperimentReport::cell(std::size_t allocation_index,
-                                             std::size_t replicate) const {
-  if (allocation_index >= allocations.size() || replicate >= replicates) {
-    throw std::out_of_range("ExperimentReport::cell: index out of range");
-  }
-  return cells[allocation_index * replicates + replicate];
+std::uint64_t cell_seed(std::uint64_t base, std::size_t index) noexcept {
+  return stats::substream_seed(base, index);
 }
 
-std::uint64_t cell_seed(std::uint64_t base, std::size_t index) noexcept {
-  return stats::mix64(base ^ (0x9e3779b97f4a7c15ULL + index));
+std::uint64_t estimator_seed(std::uint64_t base,
+                             std::size_t estimator_index) noexcept {
+  // A different odd constant than cell_seed, so the analysis substreams
+  // never collide with the simulation substreams of the same spec seed.
+  return stats::mix64(base ^ (0xbf58476d1ce4e5b9ULL + estimator_index));
 }
 
 ExperimentReport run_experiment(const ExperimentSpec& spec) {
@@ -29,8 +30,16 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
   }
   const std::unique_ptr<DataSource> source =
       make_scenario(spec.scenario, spec.tuning);
+  // Resolve every estimator key up front: an unknown key throws (listing
+  // the registered alternatives) before any simulation work starts.
+  std::vector<std::unique_ptr<core::Estimator>> estimators;
+  estimators.reserve(spec.estimators.size());
+  for (const std::string& key : spec.estimators) {
+    estimators.push_back(core::make_estimator(key));
+  }
 
   ExperimentReport report;
+  report.scenario = spec.scenario;
   report.allocations = spec.allocations;
   if (report.allocations.empty()) {
     report.allocations.push_back(source->default_allocation());
@@ -47,6 +56,38 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
     cell.seed = cell_seed(spec.seed, i);
     cell.table = source->run(cell.allocation, cell.seed);
   });
+
+  // Analysis stage: fan (estimator, metric) jobs across the runner. Each
+  // job's substream derives from its (estimator, metric) indices — not
+  // from scheduling order — and rows land in index-addressed slots, so
+  // the estimates are bit-for-bit identical at any thread count and
+  // match a serial Estimator::estimate over the same report.
+  if (!estimators.empty() && !report.cells.empty()) {
+    const std::vector<std::string>& metrics =
+        report.cells.front().table.metrics;
+    const std::size_t num_metrics = metrics.size();
+    std::vector<std::vector<core::EstimateRow>> slots(estimators.size() *
+                                                      num_metrics);
+    runner.parallel_for(slots.size(), [&](std::size_t i) {
+      const std::size_t e = i / num_metrics;
+      const std::size_t m = i % num_metrics;
+      core::EstimatorOptions options;
+      options.analysis = spec.analysis;
+      options.seed = core::metric_seed(estimator_seed(spec.seed, e), m);
+      slots[i] = estimators[e]->estimate_metric(report, metrics[m], options);
+    });
+
+    report.estimates.resize(estimators.size());
+    for (std::size_t e = 0; e < estimators.size(); ++e) {
+      core::EstimateTable& table = report.estimates[e];
+      table.estimator = spec.estimators[e];
+      for (std::size_t m = 0; m < num_metrics; ++m) {
+        for (core::EstimateRow& row : slots[e * num_metrics + m]) {
+          table.add_row(std::move(row));
+        }
+      }
+    }
+  }
   return report;
 }
 

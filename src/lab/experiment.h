@@ -1,21 +1,32 @@
 // The one experiment pipeline: ExperimentSpec -> run_experiment -> Report.
 //
-// A spec names a registered scenario, the allocations to sweep, and the
+// A spec names a registered scenario, the allocations to sweep, the
 // number of replicate worlds per allocation (bootstrap weeks, repeated
-// lab runs). The pipeline fans every (allocation, replicate) cell across
-// the runner; each cell derives its seed from the spec seed and its own
-// index (counter-based stats::mix64 substream), so the report is
+// lab runs), and the registered estimators to run over the completed
+// tables. The pipeline fans every (allocation, replicate) cell and then
+// every (estimator, metric) analysis job across the runner; each job
+// derives its seed from the spec seed and its own index (counter-based
+// stats::mix64 substreams), so the report — tables AND estimates — is
 // bit-for-bit identical at any thread count.
+//
+// The report/cell/table types live in core/experiment_data.h so the core
+// Estimator interface can consume them; they are re-exported here for
+// pipeline callers.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/estimator.h"
+#include "core/experiment_data.h"
 #include "lab/registry.h"
 #include "util/runner.h"
 
 namespace xp::lab {
+
+using ExperimentCell = core::ExperimentCell;
+using ExperimentReport = core::ExperimentReport;
 
 struct ExperimentSpec {
   std::string scenario;  ///< registry key (see lab/registry.h)
@@ -24,29 +35,25 @@ struct ExperimentSpec {
   std::vector<double> allocations;
   /// Independent replicate worlds per allocation.
   std::size_t replicates = 1;
+  /// Analysis stage: estimator registry keys (core/estimator.h) to run
+  /// over the completed tables; empty skips the stage. Unknown keys
+  /// throw before any simulation work starts.
+  std::vector<std::string> estimators;
   std::uint64_t seed = 1;
-};
-
-struct ExperimentCell {
-  double allocation = 0.0;
-  std::size_t replicate = 0;
-  std::uint64_t seed = 0;  ///< the derived per-cell seed actually used
-  ObservationTable table;
-};
-
-struct ExperimentReport {
-  std::vector<double> allocations;
-  std::size_t replicates = 0;
-  /// Allocation-major: cells[a * replicates + r].
-  std::vector<ExperimentCell> cells;
-
-  const ExperimentCell& cell(std::size_t allocation_index,
-                             std::size_t replicate) const;
+  /// Forwarded to every estimator (confidence level, Newey-West lag).
+  core::AnalysisOptions analysis;
 };
 
 /// Deterministic seed of cell `index` under base seed `base` (the same
 /// counter-based substream scheme stats::bootstrap uses).
 std::uint64_t cell_seed(std::uint64_t base, std::size_t index) noexcept;
+
+/// Deterministic substream base of estimator `estimator_index` under the
+/// spec seed; each metric then gets core::metric_seed(base, m). Running
+/// estimator e of a spec serially via Estimator::estimate with this seed
+/// reproduces the pipeline's table exactly.
+std::uint64_t estimator_seed(std::uint64_t base,
+                             std::size_t estimator_index) noexcept;
 
 /// Run the spec on the process-wide runner / an explicit runner (tests pin
 /// 1 vs N threads with the latter).

@@ -2,12 +2,10 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
-#include <sstream>
-#include <stdexcept>
 #include <utility>
 
 #include "core/session_metrics.h"
+#include "core/string_registry.h"
 #include "video/cluster.h"
 
 namespace xp::lab {
@@ -122,16 +120,6 @@ class PairedLinkSource final : public DataSource {
 
 // ------------------------------------------------------------- registry ----
 
-struct Registry {
-  std::mutex mu;
-  std::map<std::string, SourceFactory> factories;
-};
-
-Registry& registry() {
-  static Registry instance;
-  return instance;
-}
-
 LabConfig scaled(LabConfig config, double scale) {
   config.dumbbell.warmup *= scale;
   config.dumbbell.duration *= scale;
@@ -143,18 +131,9 @@ video::ClusterConfig scaled(video::ClusterConfig config, double scale) {
   return config;
 }
 
-void register_locked(Registry& reg, std::string name,
-                     SourceFactory factory) {
-  if (!reg.factories.emplace(name, std::move(factory)).second) {
-    throw std::invalid_argument("register_scenario: duplicate scenario \"" +
-                                name + "\"");
-  }
-}
-
-void ensure_builtins_locked(Registry& reg) {
-  if (!reg.factories.empty()) return;
+void install_builtins(std::map<std::string, SourceFactory>& reg) {
   const auto dumbbell = [&](const char* name, Treatment treatment) {
-    register_locked(reg, name, [name, treatment](const SourceOptions& opt) {
+    reg.emplace(name, [name, treatment](const SourceOptions& opt) {
       return std::make_unique<DumbbellSource>(
           name, treatment,
           scaled(canonical_lab_config(), opt.duration_scale));
@@ -164,64 +143,38 @@ void ensure_builtins_locked(Registry& reg) {
   dumbbell("dumbbell/pacing", Treatment::kPacing);
   dumbbell("dumbbell/bbr_vs_cubic", Treatment::kBbrVsCubic);
 
-  register_locked(reg, "paired_links/experiment",
-                  [](const SourceOptions& opt) {
-                    return std::make_unique<PairedLinkSource>(
-                        "paired_links/experiment",
-                        scaled(canonical_experiment_config(),
-                               opt.duration_scale),
-                        /*allocation_sets_treatment=*/true);
-                  });
-  register_locked(reg, "paired_links/baseline",
-                  [](const SourceOptions& opt) {
-                    return std::make_unique<PairedLinkSource>(
-                        "paired_links/baseline",
-                        scaled(canonical_baseline_config(),
-                               opt.duration_scale),
-                        /*allocation_sets_treatment=*/false);
-                  });
+  reg.emplace("paired_links/experiment", [](const SourceOptions& opt) {
+    return std::make_unique<PairedLinkSource>(
+        "paired_links/experiment",
+        scaled(canonical_experiment_config(), opt.duration_scale),
+        /*allocation_sets_treatment=*/true);
+  });
+  reg.emplace("paired_links/baseline", [](const SourceOptions& opt) {
+    return std::make_unique<PairedLinkSource>(
+        "paired_links/baseline",
+        scaled(canonical_baseline_config(), opt.duration_scale),
+        /*allocation_sets_treatment=*/false);
+  });
+}
+
+core::detail::StringRegistry<SourceFactory>& registry() {
+  static core::detail::StringRegistry<SourceFactory> instance(
+      "scenario", install_builtins);
+  return instance;
 }
 
 }  // namespace
 
 void register_scenario(std::string name, SourceFactory factory) {
-  Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
-  ensure_builtins_locked(reg);
-  register_locked(reg, std::move(name), std::move(factory));
+  registry().add(std::move(name), std::move(factory));
 }
 
 std::unique_ptr<DataSource> make_scenario(std::string_view name,
                                           const SourceOptions& options) {
-  SourceFactory factory;
-  {
-    Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
-    ensure_builtins_locked(reg);
-    const auto it = reg.factories.find(std::string(name));
-    if (it == reg.factories.end()) {
-      std::ostringstream message;
-      message << "make_scenario: unknown scenario \"" << name
-              << "\"; registered scenarios:";
-      for (const auto& [key, unused] : reg.factories) {
-        message << " \"" << key << "\"";
-      }
-      throw std::invalid_argument(message.str());
-    }
-    factory = it->second;
-  }
-  return factory(options);
+  return registry().find(name)(options);
 }
 
-std::vector<std::string> scenario_names() {
-  Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
-  ensure_builtins_locked(reg);
-  std::vector<std::string> names;
-  names.reserve(reg.factories.size());
-  for (const auto& [key, unused] : reg.factories) names.push_back(key);
-  return names;  // std::map iterates sorted
-}
+std::vector<std::string> scenario_names() { return registry().names(); }
 
 core::Scenario as_scenario(std::shared_ptr<const DataSource> source,
                            std::string metric) {

@@ -1,8 +1,14 @@
-// Compatibility alias: the parallel experiment runner moved down to
-// src/util/ (it is below stats/ and core/ in the layer graph — both fan
-// bootstrap replicates and quantile rungs across it, so it cannot live in
-// the top lab/ layer). Existing call sites keep spelling xp::lab::Runner.
+// DEPRECATED compatibility alias: the parallel experiment runner moved
+// down to src/util/ (it is below stats/ and core/ in the layer graph —
+// both fan bootstrap replicates and quantile rungs across it, so it
+// cannot live in the top lab/ layer). Every in-tree call site now
+// includes util/runner.h and spells xp::util::Runner; do not add new
+// includes of this header — it exists only so external code migrates
+// gradually and will be removed.
 #pragma once
+
+#pragma message( \
+    "lab/runner.h is deprecated: include util/runner.h and use xp::util::Runner")
 
 #include "util/runner.h"
 

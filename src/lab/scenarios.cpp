@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "lab/runner.h"
+#include "util/runner.h"
 
 namespace xp::lab {
 
@@ -96,12 +96,12 @@ LabRun run_lab(Treatment treatment, std::size_t treated_count,
 
 std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
                                              const LabConfig& config) {
-  return run_allocation_sweep(treatment, config, global_runner());
+  return run_allocation_sweep(treatment, config, util::global_runner());
 }
 
 std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
                                              const LabConfig& config,
-                                             Runner& runner) {
+                                             util::Runner& runner) {
   // Every sweep point is an independent simulator instance with its own
   // deterministic seed, so the runner can fan them across cores; results
   // land in index-addressed slots, making the output bit-for-bit identical

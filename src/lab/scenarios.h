@@ -10,8 +10,8 @@
 
 #include "core/designs/gradual.h"
 #include "core/observation.h"
-#include "lab/runner.h"
 #include "sim/dumbbell.h"
+#include "util/runner.h"
 
 namespace xp::lab {
 
@@ -68,7 +68,7 @@ std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
 /// Same sweep on an explicit runner (tests pin 1 vs N threads with this).
 std::vector<SweepPoint> run_allocation_sweep(Treatment treatment,
                                              const LabConfig& config,
-                                             Runner& runner);
+                                             util::Runner& runner);
 
 enum class LabMetric { kThroughput, kRetransmitFraction, kMeanRtt };
 

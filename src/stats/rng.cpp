@@ -16,6 +16,11 @@ std::uint64_t mix64(std::uint64_t value) noexcept {
   return splitmix64(s);
 }
 
+std::uint64_t substream_seed(std::uint64_t base,
+                             std::uint64_t index) noexcept {
+  return mix64(base ^ (0x9e3779b97f4a7c15ULL + index));
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -22,6 +22,14 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 /// hash-based unit randomization: hash(unit_id ^ experiment_salt).
 std::uint64_t mix64(std::uint64_t value) noexcept;
 
+/// The library's one counter-based substream derivation: deterministic
+/// seed of job `index` under `base` (golden-ratio offset + mix64). Cell
+/// seeds, per-metric estimator streams, and bootstrap rung streams all
+/// derive through this, so the "bit-for-bit identical at any thread
+/// count" contract has a single formula to keep stable.
+std::uint64_t substream_seed(std::uint64_t base,
+                             std::uint64_t index) noexcept;
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be used
 /// with <random> distributions, but we provide the distributions we need as
 /// members to keep results identical across standard libraries.

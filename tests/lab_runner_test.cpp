@@ -7,7 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "lab/runner.h"
+#include "util/runner.h"
 #include "lab/scenarios.h"
 #include "stats/bootstrap.h"
 #include "stats/descriptive.h"
@@ -16,7 +16,7 @@ namespace xp {
 namespace {
 
 TEST(Runner, ExecutesEveryIndexExactlyOnce) {
-  lab::Runner runner(4);
+  util::Runner runner(4);
   EXPECT_EQ(runner.thread_count(), 4u);
   std::vector<std::atomic<int>> hits(1000);
   runner.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
@@ -24,7 +24,7 @@ TEST(Runner, ExecutesEveryIndexExactlyOnce) {
 }
 
 TEST(Runner, SingleThreadRunsInline) {
-  lab::Runner runner(1);
+  util::Runner runner(1);
   EXPECT_EQ(runner.thread_count(), 1u);
   int sum = 0;  // no synchronization needed: everything runs on the caller
   runner.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
@@ -32,7 +32,7 @@ TEST(Runner, SingleThreadRunsInline) {
 }
 
 TEST(Runner, MapPreservesIndexOrder) {
-  lab::Runner runner(4);
+  util::Runner runner(4);
   const std::vector<double> out = runner.map<double>(
       64, [](std::size_t i) { return static_cast<double>(i) * 1.5; });
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -41,7 +41,7 @@ TEST(Runner, MapPreservesIndexOrder) {
 }
 
 TEST(Runner, PropagatesFirstException) {
-  lab::Runner runner(4);
+  util::Runner runner(4);
   EXPECT_THROW(runner.parallel_for(
                    32,
                    [](std::size_t i) {
@@ -53,7 +53,7 @@ TEST(Runner, PropagatesFirstException) {
 TEST(Runner, NestedParallelForCompletes) {
   // A bootstrap inside a sweep point: the caller participates in its own
   // job, so nesting must not deadlock even with every worker busy.
-  lab::Runner runner(4);
+  util::Runner runner(4);
   std::atomic<int> total{0};
   runner.parallel_for(8, [&](std::size_t) {
     runner.parallel_for(8, [&](std::size_t) { ++total; });
@@ -68,8 +68,8 @@ TEST(Runner, SweepIsBitIdenticalAcrossThreadCounts) {
   config.dumbbell.duration = 0.8;
   config.num_apps = 4;
 
-  lab::Runner serial(1);
-  lab::Runner pool(4);
+  util::Runner serial(1);
+  util::Runner pool(4);
   const auto sweep1 =
       lab::run_allocation_sweep(lab::Treatment::kTwoConnections, config,
                                 serial);
@@ -97,8 +97,8 @@ TEST(Runner, BootstrapIsBitIdenticalAcrossThreadCounts) {
   const auto statistic = [](std::span<const double> s) {
     return stats::mean(s);
   };
-  lab::Runner serial(1);
-  lab::Runner pool(4);
+  util::Runner serial(1);
+  util::Runner pool(4);
   stats::Rng rng1(42);
   stats::Rng rngN(42);
   const auto ci1 = stats::bootstrap_ci(xs, statistic, rng1, 500, 0.95,
@@ -121,8 +121,8 @@ TEST(Runner, TwoSampleBootstrapIsBitIdenticalAcrossThreadCounts) {
                             std::span<const double> t) {
     return stats::mean(s) - stats::mean(t);
   };
-  lab::Runner serial(1);
-  lab::Runner pool(4);
+  util::Runner serial(1);
+  util::Runner pool(4);
   stats::Rng rng1(42);
   stats::Rng rngN(42);
   const auto ci1 = stats::bootstrap_two_sample_ci(a, b, statistic, rng1, 400,
