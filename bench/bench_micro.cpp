@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/analysis.h"
 #include "lab/experiment.h"
 #include "lab/scenarios.h"
@@ -139,6 +140,17 @@ void BM_DumbbellSimSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DumbbellSimSecond)->Unit(benchmark::kMillisecond);
 
+void BM_PairedLinksDay(benchmark::State& state) {
+  // One simulated day of the canonical Section 4 experiment world — the
+  // fluid paired-link cluster that generates every figure's telemetry.
+  // This is the data-generating hot path the CI gate watches alongside
+  // the packet-level kernel (BM_DumbbellSimSecond).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xp::bench::main_experiment(/*days=*/1.0));
+  }
+}
+BENCHMARK(BM_PairedLinksDay)->Unit(benchmark::kMillisecond);
+
 void BM_HourlyAggregation(benchmark::State& state) {
   xp::stats::Rng rng(5);
   std::vector<xp::core::Observation> rows(100000);
@@ -197,13 +209,15 @@ BENCHMARK(BM_RunnerBootstrap)
     ->UseRealTime();
 
 void BM_ExperimentPipeline(benchmark::State& state) {
-  // End-to-end cost of the registry + pipeline seam at a smoke scale:
-  // spec -> source lookup -> replicate fan-out -> observation tables.
+  // End-to-end cost of the registry + pipeline seam: spec -> source
+  // lookup -> replicate fan-out -> observation tables, riding the
+  // paired-link data source every figure bench uses (one simulated day
+  // per replicate world, so the diurnal peak is inside the horizon).
   xp::util::Runner runner(static_cast<std::size_t>(state.range(0)));
   xp::lab::ExperimentSpec spec;
-  spec.scenario = "dumbbell/two_connections";
-  spec.tuning.duration_scale = 0.05;
-  spec.replicates = 4;
+  spec.scenario = "paired_links/experiment";
+  spec.tuning.duration_scale = 0.2;
+  spec.replicates = 2;
   for (auto _ : state) {
     benchmark::DoNotOptimize(xp::lab::run_experiment(spec, runner));
   }

@@ -110,11 +110,23 @@ bool matches(const Observation& row, const RowFilter& filter) noexcept {
   return true;
 }
 
+namespace {
+
+/// An all-pass filter keeps every row, so the output can reserve exactly
+/// rows.size() instead of guessing half (the paired-link table conversion
+/// extracts every metric column over all sessions this way).
+bool matches_everything(const RowFilter& filter) noexcept {
+  return filter.link < 0 && filter.treated < 0 && filter.day_min < 0 &&
+         filter.day_max < 0;
+}
+
+}  // namespace
+
 std::vector<Observation> select(std::span<const Observation> rows,
                                 const RowFilter& filter,
                                 int relabel_treated) {
   std::vector<Observation> out;
-  out.reserve(rows.size() / 2);
+  out.reserve(matches_everything(filter) ? rows.size() : rows.size() / 2);
   for (const Observation& row : rows) {
     if (!matches(row, filter)) continue;
     Observation obs = row;
@@ -128,7 +140,7 @@ std::vector<Observation> select(std::span<const video::SessionRecord> rows,
                                 Metric metric, const RowFilter& filter,
                                 int relabel_treated) {
   std::vector<Observation> out;
-  out.reserve(rows.size() / 2);
+  out.reserve(matches_everything(filter) ? rows.size() : rows.size() / 2);
   for (const video::SessionRecord& row : rows) {
     if (!matches(row, filter)) continue;
     Observation obs;

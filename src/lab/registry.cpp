@@ -91,6 +91,11 @@ class PairedLinkSource final : public DataSource {
     const video::ClusterResult result = video::run_paired_links(config);
 
     ObservationTable table;
+    // One column per metric, each with exactly one row per session: size
+    // the table up front (select() itself reserves sessions.size() for
+    // the all-pass filter) instead of growing incrementally.
+    table.metrics.reserve(std::size(core::kAllMetrics));
+    table.columns.reserve(std::size(core::kAllMetrics));
     const core::RowFilter all;
     for (core::Metric metric : core::kAllMetrics) {
       table.add_column(std::string(core::metric_name(metric)),

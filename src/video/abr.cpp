@@ -1,7 +1,6 @@
 #include "video/abr.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 namespace xp::video {
 
@@ -9,19 +8,11 @@ BufferBasedAbr::BufferBasedAbr(BitrateLadder ladder, AbrConfig config)
     : ladder_(std::move(ladder)), config_(config) {}
 
 double BufferBasedAbr::select(double buffer_seconds) const noexcept {
-  if (buffer_seconds <= config_.reservoir_seconds) return ladder_.lowest();
-  const double span = config_.cushion_seconds;
-  const double t =
-      std::clamp((buffer_seconds - config_.reservoir_seconds) / span, 0.0,
-                 1.0);
-  // Linear interpolation across ladder indices.
-  const auto top = static_cast<double>(ladder_.size() - 1);
-  const auto index = static_cast<std::size_t>(std::floor(t * top));
-  return ladder_.rung(index);
+  return abr_select(ladder_, config_, buffer_seconds);
 }
 
 double BufferBasedAbr::startup() const noexcept {
-  return std::min(config_.startup_bitrate, ladder_.highest());
+  return abr_startup(ladder_, config_);
 }
 
 }  // namespace xp::video

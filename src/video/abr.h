@@ -5,6 +5,9 @@
 // cap (the Section 4 treatment) simply truncates the ladder.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "video/bitrate.h"
 
 namespace xp::video {
@@ -17,6 +20,38 @@ struct AbrConfig {
   /// Throughput-based startup: first chunk uses min(this, ladder top).
   double startup_bitrate = 1050e3;
 };
+
+/// Rung for the current playback buffer level, over a flattened ladder
+/// (ascending rung array + top index as a double). This is THE buffer-map
+/// arithmetic: the session pool's tick loop calls it with cached raw rung
+/// pointers, and the ladder-based overload below delegates here — change
+/// the policy in exactly one place.
+inline double abr_select_rungs(const double* rungs, double top_index,
+                               const AbrConfig& config,
+                               double buffer_seconds) noexcept {
+  if (buffer_seconds <= config.reservoir_seconds) return rungs[0];
+  const double t = std::clamp(
+      (buffer_seconds - config.reservoir_seconds) / config.cushion_seconds,
+      0.0, 1.0);
+  // Linear interpolation across ladder indices.
+  return rungs[static_cast<std::size_t>(std::floor(t * top_index))];
+}
+
+/// Rung for the current playback buffer level. Free and inline so callers
+/// without a BufferBasedAbr object can select; BufferBasedAbr::select
+/// delegates here.
+inline double abr_select(const BitrateLadder& ladder, const AbrConfig& config,
+                         double buffer_seconds) noexcept {
+  return abr_select_rungs(ladder.rungs().data(),
+                          static_cast<double>(ladder.size() - 1), config,
+                          buffer_seconds);
+}
+
+/// Bitrate for the startup chunk (before playback begins).
+inline double abr_startup(const BitrateLadder& ladder,
+                          const AbrConfig& config) noexcept {
+  return std::min(config.startup_bitrate, ladder.highest());
+}
 
 class BufferBasedAbr {
  public:

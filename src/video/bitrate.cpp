@@ -6,10 +6,14 @@
 
 namespace xp::video {
 
-BitrateLadder BitrateLadder::standard() {
-  return BitrateLadder({235e3, 375e3, 560e3, 750e3, 1050e3, 1750e3, 2350e3,
-                        3000e3, 4300e3, 5800e3, 7500e3, 11600e3, 16000e3});
+const BitrateLadder& BitrateLadder::shared_standard() {
+  static const BitrateLadder ladder(
+      {235e3, 375e3, 560e3, 750e3, 1050e3, 1750e3, 2350e3, 3000e3, 4300e3,
+       5800e3, 7500e3, 11600e3, 16000e3});
+  return ladder;
 }
+
+BitrateLadder BitrateLadder::standard() { return shared_standard(); }
 
 BitrateLadder::BitrateLadder(std::vector<double> rungs)
     : rungs_(std::move(rungs)) {

@@ -17,6 +17,11 @@ class BitrateLadder {
   /// Default ladder (bits/s), 235 kb/s .. 16 Mb/s.
   static BitrateLadder standard();
 
+  /// The standard ladder built once per process. Hot paths (the cluster's
+  /// per-run ladder cache) use this instead of rebuilding the vector on
+  /// every call; standard() returns a copy of it.
+  static const BitrateLadder& shared_standard();
+
   explicit BitrateLadder(std::vector<double> rungs);
 
   std::span<const double> rungs() const noexcept { return rungs_; }

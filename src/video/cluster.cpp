@@ -1,22 +1,13 @@
 #include "video/cluster.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <memory>
 #include <stdexcept>
 
+#include "video/session_pool.h"
+
 namespace xp::video {
-
-namespace {
-
-double draw_device_ceiling(const DeviceMix& mix, stats::Rng& rng) {
-  const double u = rng.uniform();
-  if (u < mix.mobile_fraction) return mix.mobile_ceiling;
-  if (u < mix.mobile_fraction + mix.hd_fraction) return mix.hd_ceiling;
-  return mix.uhd_ceiling;
-}
-
-}  // namespace
 
 ClusterResult run_paired_links(const ClusterConfig& config) {
   if (config.days <= 0.0 || config.tick_seconds <= 0.0) {
@@ -24,17 +15,50 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
   }
 
   stats::Rng rng(config.seed);
-  const BitrateLadder ladder = BitrateLadder::standard();
-  FluidLink links[2] = {FluidLink(config.link), FluidLink(config.link)};
-  DemandModel demand(config.demand);
-
-  std::vector<std::unique_ptr<Session>> active[2];
-  ClusterResult result;
-  result.sessions.reserve(200000);
-
   const double horizon = config.days * 86400.0;
   const double dt = config.tick_seconds;
-  std::uint64_t next_session_id = 1;
+
+  // Ladder cache: a session's (possibly capped) ladder is one of six —
+  // device class x treatment — built once per run, so arrivals perform no
+  // heap allocation and sessions share six hot read-only ladders.
+  const BitrateLadder& base = BitrateLadder::shared_standard();
+  const double ceilings[3] = {config.devices.mobile_ceiling,
+                              config.devices.hd_ceiling,
+                              config.devices.uhd_ceiling};
+  const std::array<BitrateLadder, 6> ladders = {
+      base.capped(ceilings[0]),
+      base.capped(ceilings[0] * config.cap_fraction),
+      base.capped(ceilings[1]),
+      base.capped(ceilings[1] * config.cap_fraction),
+      base.capped(ceilings[2]),
+      base.capped(ceilings[2] * config.cap_fraction),
+  };
+
+  FluidLink links[2] = {FluidLink(config.link), FluidLink(config.link)};
+  DemandModel demand(config.demand);
+  SessionPool pools[2] = {SessionPool(config.session, config.abr),
+                          SessionPool(config.session, config.abr)};
+
+  // Spurious (content-driven) stalls: one geometric skip-sampling stream
+  // per link (substreams of the run seed, independent of the arrival
+  // stream) replaces the old uniform draw per playing session per tick.
+  StallSampler stalls[2] = {
+      StallSampler(config.spurious_rebuffer_per_hour[0] * dt / 3600.0,
+                   stats::substream_seed(config.seed, 1)),
+      StallSampler(config.spurious_rebuffer_per_hour[1] * dt / 3600.0,
+                   stats::substream_seed(config.seed, 2))};
+
+  ClusterResult result;
+  // Size the record reserve from demand x horizon (plus Poisson slack);
+  // overflow beyond it grows geometrically like any vector.
+  const double expected_sessions = demand.expected_arrivals(horizon);
+  result.sessions.reserve(
+      static_cast<std::size_t>(expected_sessions * 1.08) + 1024);
+  // Concurrency ~ per-link arrival rate x mean viewing duration at peak.
+  const std::size_t expected_peak = static_cast<std::size_t>(
+      0.75 * config.demand.peak_arrivals_per_second *
+      demand.mean_duration()) + 64;
+  for (auto& pool : pools) pool.reserve(expected_peak);
 
   // Hourly diagnostic accumulators.
   const auto total_hours = static_cast<std::size_t>(horizon / 3600.0) + 1;
@@ -44,7 +68,16 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
   }
   std::vector<double> hourly_ticks(total_hours, 0.0);
 
-  std::vector<double> demands;
+  // Demand/allocation scratch, hoisted and reused across ticks and links:
+  // the steady-state tick loop performs zero heap allocations.
+  std::vector<double> demands, alloc;
+  demands.reserve(expected_peak);
+  alloc.reserve(expected_peak);
+
+  const double log_access_median =
+      std::log(config.session.access_rate_median);
+  std::uint64_t next_session_id = 1;
+
   for (double t = 0.0; t < horizon; t += dt) {
     // --- Arrivals (shared demand pool, hash-routed to a link) ---
     const std::uint64_t n_arrivals = demand.draw_arrivals(t, dt, rng);
@@ -53,63 +86,61 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
                                     ? std::uint8_t{0}
                                     : std::uint8_t{1};
       const bool treated = rng.bernoulli(config.treat_probability[link]);
-      const double ceiling = draw_device_ceiling(config.devices, rng);
-      const double effective_ceiling =
-          treated ? ceiling * config.cap_fraction : ceiling;
-      const double duration = demand.draw_duration(rng);
-      active[link].push_back(std::make_unique<Session>(
-          next_session_id, /*account=*/next_session_id, link, treated, t,
-          duration, ladder, config.abr, effective_ceiling, config.session,
-          rng));
+      const double u = rng.uniform();
+      const std::size_t device =
+          u < config.devices.mobile_fraction
+              ? 0
+              : (u < config.devices.mobile_fraction +
+                         config.devices.hd_fraction
+                     ? 1
+                     : 2);
+
+      SessionPool::Arrival arrival;
+      arrival.id = next_session_id;
+      arrival.account = next_session_id;
+      arrival.link = link;
+      arrival.treated = treated;
+      arrival.start_time = t;
+      arrival.duration = demand.draw_duration(rng);
+      arrival.ladder = &ladders[device * 2 + (treated ? 1 : 0)];
+      arrival.patience = rng.uniform(config.session.cancel_patience_min,
+                                     config.session.cancel_patience_max);
+      arrival.access_rate_bps =
+          std::clamp(rng.lognormal(log_access_median,
+                                   config.session.access_rate_sigma),
+                     config.session.access_rate_min,
+                     config.session.access_rate_max);
+      pools[link].add(arrival);
       ++next_session_id;
       ++result.stats.sessions_started;
     }
 
     const auto hour_index = static_cast<std::size_t>(t / 3600.0);
 
-    // --- Per-link: allocate, advance, retire ---
+    // --- Per-link tick: four tight passes, each streaming the arrays ---
     for (int l = 0; l < 2; ++l) {
-      auto& sessions = active[l];
-      demands.resize(sessions.size());
+      SessionPool& pool = pools[l];
+
+      // Pass 1: demand gather.
       double desired_load = 0.0;
-      for (std::size_t i = 0; i < sessions.size(); ++i) {
-        demands[i] = sessions[i]->demand();
-        desired_load += sessions[i]->sustained_load();
-      }
-      const std::vector<double> alloc =
-          links[l].allocate_and_advance(demands, desired_load, dt);
+      pool.gather_demand(demands, desired_load);
+
+      // Pass 2: allocate into the hoisted scratch + queue dynamics.
+      links[l].allocate_and_advance(demands, desired_load, dt, alloc);
       const double rtt = links[l].rtt();
       const double loss = links[l].loss_fraction();
 
-      // Spurious (content-driven) stalls, Poisson-thinned per session.
-      const double stall_prob =
-          config.spurious_rebuffer_per_hour[l] * dt / 3600.0;
+      // Pass 3: advance every session one tick.
+      pool.advance_all(dt, alloc, rtt, loss, &stalls[l]);
 
-      for (std::size_t i = 0; i < sessions.size(); ++i) {
-        sessions[i]->advance(dt, alloc[i], rtt, loss);
-        if (stall_prob > 0.0 &&
-            sessions[i]->state() == Session::State::kPlaying &&
-            rng.uniform() < stall_prob) {
-          sessions[i]->inject_spurious_rebuffer(rng.uniform(0.5, 3.0));
-        }
-      }
-
-      // Retire finished sessions (swap-erase keeps this O(1) per retire).
-      for (std::size_t i = 0; i < sessions.size();) {
-        if (sessions[i]->finished()) {
-          result.sessions.push_back(sessions[i]->finalize());
-          ++result.stats.sessions_completed;
-          sessions[i] = std::move(sessions.back());
-          sessions.pop_back();
-        } else {
-          ++i;
-        }
-      }
+      // Pass 4: retire finished sessions (swap-erase recycles slots).
+      pool.retire_finished(result.sessions,
+                           result.stats.sessions_completed);
 
       // Diagnostics.
-      result.stats.peak_concurrency[l] = std::max(
-          result.stats.peak_concurrency[l],
-          static_cast<double>(sessions.size()));
+      result.stats.peak_concurrency[l] =
+          std::max(result.stats.peak_concurrency[l],
+                   static_cast<double>(pool.size()));
       result.stats.peak_utilization[l] =
           std::max(result.stats.peak_utilization[l],
                    links[l].last_utilization());
@@ -138,9 +169,7 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
   // partial telemetry is valid; the paper's datasets do the same at the
   // experiment boundary).
   for (int l = 0; l < 2; ++l) {
-    for (auto& session : active[l]) {
-      result.sessions.push_back(session->finalize());
-    }
+    pools[l].flush_all(result.sessions);
   }
   return result;
 }

@@ -17,7 +17,7 @@
 #include "video/abr.h"
 #include "video/demand.h"
 #include "video/fluid_link.h"
-#include "video/session.h"
+#include "video/session_pool.h"
 #include "video/session_record.h"
 
 namespace xp::video {
@@ -78,7 +78,13 @@ struct ClusterResult {
   std::vector<double> hourly_rtt[2];
 };
 
-/// Run the paired-link world. Deterministic in (config).
+/// Run the paired-link world. Deterministic in (config): the result is a
+/// pure function of (config, seed) — bit-for-bit reproducible at any
+/// thread count, since a run is single-threaded and parallelism happens
+/// across independent runs. The contract does NOT pin the RNG draw order
+/// *inside* one run across refactors (e.g. stall thinning moved to
+/// per-link skip-sampling streams), so realized values may change when
+/// the hot path changes; goldens are refreshed when that happens.
 ClusterResult run_paired_links(const ClusterConfig& config);
 
 }  // namespace xp::video

@@ -29,4 +29,21 @@ double DemandModel::draw_duration(stats::Rng& rng) const {
   return std::clamp(draw, config_.min_duration, config_.max_duration);
 }
 
+double DemandModel::expected_arrivals(double horizon_seconds) const noexcept {
+  // arrival_rate is linear within each hour, so the trapezoid over hour
+  // segments is the exact integral (weekend jumps land on segment
+  // boundaries).
+  double total = 0.0;
+  for (double t = 0.0; t < horizon_seconds; t += 3600.0) {
+    const double span = std::min(3600.0, horizon_seconds - t);
+    total += 0.5 * (arrival_rate(t) + arrival_rate(t + span)) * span;
+  }
+  return total;
+}
+
+double DemandModel::mean_duration() const noexcept {
+  return std::exp(config_.duration_log_mean +
+                  0.5 * config_.duration_log_sd * config_.duration_log_sd);
+}
+
 }  // namespace xp::video

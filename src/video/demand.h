@@ -50,6 +50,15 @@ class DemandModel {
   /// Draw a viewing duration (seconds).
   double draw_duration(stats::Rng& rng) const;
 
+  /// Expected number of arrivals over [0, horizon_seconds): the exact
+  /// integral of the piecewise-linear diurnal rate. Sizes the cluster's
+  /// result reserve from demand x horizon instead of a magic constant.
+  double expected_arrivals(double horizon_seconds) const noexcept;
+
+  /// Mean viewing duration (seconds) of the untruncated log-normal — the
+  /// clamp tails roughly offset; used for concurrency reserve sizing.
+  double mean_duration() const noexcept;
+
   const DemandConfig& config() const noexcept { return config_; }
 
  private:

@@ -2,42 +2,94 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 namespace xp::video {
+
+double max_min_fair_allocation_into(
+    std::span<const double> demands, double capacity, std::span<double> alloc,
+    std::vector<std::uint32_t>& order_scratch) {
+  const std::size_t n = demands.size();
+  if (n == 0) return 0.0;
+  if (capacity <= 0.0) {
+    std::fill(alloc.begin(), alloc.end(), 0.0);
+    return 0.0;
+  }
+
+  // Gather the positive demands; everything else is granted 0. Running the
+  // water-fill over positives alone is exact: ascending zeros consume no
+  // capacity and only shrink the per-head fair share toward the same
+  // remaining/left ratio.
+  order_scratch.clear();
+  double positive_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = demands[i];
+    if (d > 0.0) {
+      positive_sum += d;
+      order_scratch.push_back(static_cast<std::uint32_t>(i));
+    }
+    alloc[i] = 0.0;
+  }
+
+  // Undersubscribed: everyone gets exactly their demand, no water level.
+  if (positive_sum <= capacity) {
+    for (const std::uint32_t i : order_scratch) alloc[i] = demands[i];
+    return positive_sum;  // accumulated in index order above
+  }
+
+  // Oversubscribed: find the water level L with alloc_i = min(d_i, L) and
+  // sum(alloc) = capacity by iterative refinement instead of an
+  // O(n log n) sort — guess L = remaining/left, permanently satisfy every
+  // demand under it, re-guess. L only rises, so each pass either retires
+  // demands or terminates; realistic demand mixes converge in a handful
+  // of O(n) passes (the classic sorted water-fill computes the same fixed
+  // point, one element at a time).
+  double remaining = capacity;
+  std::size_t left = order_scratch.size();
+  for (;;) {
+    const double level = remaining / static_cast<double>(left);
+    std::size_t kept = 0;
+    double satisfied = 0.0;
+    for (std::size_t k = 0; k < left; ++k) {
+      const std::uint32_t i = order_scratch[k];
+      if (demands[i] <= level) {
+        alloc[i] = demands[i];
+        satisfied += demands[i];
+      } else {
+        order_scratch[kept++] = i;
+      }
+    }
+    if (kept == left || kept == 0) {
+      // Fixed point: everyone left is rationed at the final level. (kept
+      // == 0 can only happen through rounding at the boundary; granting
+      // the level keeps the capacity bound either way.)
+      for (std::size_t k = 0; k < kept; ++k) {
+        alloc[order_scratch[k]] = level;
+      }
+      break;
+    }
+    remaining -= satisfied;
+    left = kept;
+  }
+  double delivered = 0.0;
+  for (std::size_t i = 0; i < n; ++i) delivered += alloc[i];
+  return delivered;
+}
 
 std::vector<double> max_min_fair_allocation(std::span<const double> demands,
                                             double capacity) {
   std::vector<double> alloc(demands.size(), 0.0);
   if (demands.empty() || capacity <= 0.0) return alloc;
-
-  // Water-filling over ascending demands.
-  std::vector<std::size_t> order(demands.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return demands[a] < demands[b];
-  });
-
-  double remaining = capacity;
-  std::size_t left = demands.size();
-  for (std::size_t k = 0; k < order.size(); ++k) {
-    const std::size_t i = order[k];
-    const double fair = remaining / static_cast<double>(left);
-    const double grant = std::min(std::max(demands[i], 0.0), fair);
-    alloc[i] = grant;
-    remaining -= grant;
-    --left;
-  }
+  std::vector<std::uint32_t> order;
+  max_min_fair_allocation_into(demands, capacity, alloc, order);
   return alloc;
 }
 
-std::vector<double> FluidLink::allocate_and_advance(
-    std::span<const double> demands, double desired_load_bps, double dt) {
-  std::vector<double> alloc =
-      max_min_fair_allocation(demands, config_.capacity_bps);
-
-  const double delivered =
-      std::accumulate(alloc.begin(), alloc.end(), 0.0);
+void FluidLink::allocate_and_advance(std::span<const double> demands,
+                                     double desired_load_bps, double dt,
+                                     std::vector<double>& alloc) {
+  alloc.resize(demands.size());
+  const double delivered = max_min_fair_allocation_into(
+      demands, config_.capacity_bps, alloc, order_scratch_);
   last_utilization_ = delivered / config_.capacity_bps;
 
   // Smooth the desired-load ratio, then relax the standing queue toward
@@ -56,6 +108,12 @@ std::vector<double> FluidLink::allocate_and_advance(
   const double a_q = std::min(1.0, dt / config_.queue_tau);
   queue_bytes_ += a_q * (target - queue_bytes_);
   queue_bytes_ = std::clamp(queue_bytes_, 0.0, buffer_bytes);
+}
+
+std::vector<double> FluidLink::allocate_and_advance(
+    std::span<const double> demands, double desired_load_bps, double dt) {
+  std::vector<double> alloc;
+  allocate_and_advance(demands, desired_load_bps, dt, alloc);
   return alloc;
 }
 

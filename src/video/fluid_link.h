@@ -58,6 +58,16 @@ class FluidLink {
   /// (bits/s; chunked downloads come and go each tick), and advance the
   /// standing-queue dynamics by `dt` seconds given `desired_load_bps`,
   /// the aggregate congestion-free consumption the sessions want.
+  ///
+  /// Hot-path form: grants are written into the caller-owned `alloc`
+  /// (resized to demands.size(); its capacity — and the link's internal
+  /// water-filling scratch — is reused across ticks, so the steady-state
+  /// tick allocates nothing).
+  void allocate_and_advance(std::span<const double> demands,
+                            double desired_load_bps, double dt,
+                            std::vector<double>& alloc);
+
+  /// Convenience form returning a fresh vector (tests, one-off callers).
   std::vector<double> allocate_and_advance(std::span<const double> demands,
                                            double desired_load_bps,
                                            double dt);
@@ -90,11 +100,23 @@ class FluidLink {
   double queue_bytes_ = 0.0;
   double last_utilization_ = 0.0;
   double rho_ = 0.0;
+  /// Water-filling sort scratch, reused across ticks.
+  std::vector<std::uint32_t> order_scratch_;
 };
 
 /// Standalone max-min fair share computation (water-filling).
-/// Exposed for tests and reuse; O(n log n).
+/// Exposed for tests and reuse.
 std::vector<double> max_min_fair_allocation(std::span<const double> demands,
                                             double capacity);
+
+/// Allocation-free water-filling: writes grants into `alloc` (caller sizes
+/// it to demands.size()) using `order_scratch` for the sort, and returns
+/// the total granted rate (summed in index order). Zero and negative
+/// demands are granted 0 without entering the sort, and when the positive
+/// demands fit under `capacity` the sort is skipped entirely — off-peak
+/// hours never pay the O(n log n).
+double max_min_fair_allocation_into(std::span<const double> demands,
+                                    double capacity, std::span<double> alloc,
+                                    std::vector<std::uint32_t>& order_scratch);
 
 }  // namespace xp::video

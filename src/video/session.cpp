@@ -10,204 +10,28 @@ Session::Session(std::uint64_t id, std::uint64_t account, std::uint8_t link,
                  const BitrateLadder& ladder, const AbrConfig& abr_config,
                  double bitrate_ceiling_bps, const SessionParams& params,
                  stats::Rng& rng)
-    : id_(id),
-      account_(account),
+    : ladder_(std::make_unique<BitrateLadder>(
+          ladder.capped(bitrate_ceiling_bps))),
+      pool_(params, abr_config),
       link_(link),
-      treated_(treated),
-      start_time_(start_time),
-      duration_(duration),
-      abr_(ladder.capped(bitrate_ceiling_bps), abr_config),
-      params_(params),
-      patience_(rng.uniform(params.cancel_patience_min,
-                            params.cancel_patience_max)),
-      access_rate_bps_(std::clamp(
-          rng.lognormal(std::log(params.access_rate_median),
-                        params.access_rate_sigma),
-          params.access_rate_min, params.access_rate_max)) {
-  bitrate_ = abr_.startup();
-  startup_bytes_left_ = bitrate_ * params_.startup_chunk_seconds / 8.0;
-}
-
-double Session::sustained_load() const noexcept {
-  // Desired consumption absent congestion: the top of the (possibly
-  // capped) ladder this session would stream at, plus protocol overhead,
-  // bounded by its access link. Deliberately *not* a function of the
-  // ABR-adapted bitrate: congestion must not feed back into the
-  // congestion signal, or the standing queue dissolves as soon as clients
-  // adapt — which is not what droptail queues under elastic TCP do.
-  if (state_ == State::kDone) return 0.0;
-  return std::min(access_rate_bps_, abr_.ladder().highest() * 1.10);
-}
-
-double Session::demand() const noexcept {
-  switch (state_) {
-    case State::kStartup:
-    case State::kRebuffering:
-      return access_rate_bps_;
-    case State::kPlaying:
-      // On-off chunked downloads: fetch at full access speed while there
-      // is room for another chunk, then idle. The duty cycle self-adjusts
-      // to the playback rate.
-      return buffer_seconds_ + params_.chunk_seconds <=
-                     params_.max_buffer_seconds
-                 ? access_rate_bps_
-                 : 0.0;
-    case State::kDone:
-      return 0.0;
-  }
-  return 0.0;
-}
-
-void Session::select_bitrate() noexcept {
-  const double next = abr_.select(buffer_seconds_);
-  if (next != bitrate_) {
-    ++switches_;
-    bitrate_ = next;
-  }
-}
-
-void Session::advance(double dt, double rate_bps, double rtt, double loss) {
-  if (state_ == State::kDone) return;
-  clock_ += dt;
-
-  // Telemetry common to all states. Loss consumes goodput: of the granted
-  // rate, a `loss` fraction is spent on retransmissions, plus a small
-  // fixed recovery overhead while actively downloading.
-  const bool downloading = rate_bps > 0.0;
-  const double wire_bytes = rate_bps * dt / 8.0;
-  const double good_bytes = wire_bytes * (1.0 - loss);
-  delivered_bytes_ += good_bytes;
-  retransmitted_bytes_ += wire_bytes * loss;
-  if (downloading) {
-    // Throughput telemetry counts only the fraction of the tick the
-    // session could actually use: a chunk that completes mid-tick must
-    // not dilute the measured rate (capped sessions fetch smaller chunks,
-    // so uncorrected dilution would bias their throughput low).
-    double used_fraction = 1.0;
-    if (state_ == State::kPlaying && good_bytes > 0.0 && bitrate_ > 0.0) {
-      // Near the buffer ceiling the client is not network-limited at all;
-      // exclude those trickle ticks entirely (clients report throughput
-      // from full-speed chunk downloads only).
-      if (buffer_seconds_ > 0.5 * params_.max_buffer_seconds) {
-        used_fraction = 0.0;
-      } else {
-        const double room_bytes =
-            (params_.max_buffer_seconds - buffer_seconds_ + dt) * bitrate_ /
-            8.0;
-        used_fraction = std::clamp(room_bytes / good_bytes, 0.0, 1.0);
-      }
-    }
-    hungry_bytes_ += wire_bytes * used_fraction;
-    hungry_seconds_ += dt * used_fraction;
-  }
-  if (state_ == State::kPlaying) {
-    retransmitted_bytes_ += params_.fixed_retx_bytes_per_play_second * dt;
-  }
-  min_rtt_ = std::min(min_rtt_, rtt);
-  rtt_sum_ += rtt;
-  ++rtt_samples_;
-
-  switch (state_) {
-    case State::kStartup: {
-      const double before = startup_bytes_left_;
-      startup_bytes_left_ -= good_bytes;
-      if (startup_bytes_left_ <= 0.0) {
-        // Interpolate the completion instant within the tick, and add the
-        // request latency (handshake + chunk request) of two RTTs.
-        const double frac = good_bytes > 0.0 ? before / good_bytes : 1.0;
-        play_delay_ = clock_ - dt + dt * std::min(frac, 1.0) + 2.0 * rtt;
-        buffer_seconds_ = params_.startup_chunk_seconds;
-        state_ = State::kPlaying;
-      } else if (clock_ >= patience_) {
-        play_delay_ = clock_;
-        cancelled_ = true;
-        state_ = State::kDone;
-      }
-      break;
-    }
-    case State::kPlaying: {
-      select_bitrate();
-      const double video_seconds_downloaded = good_bytes * 8.0 / bitrate_;
-      buffer_seconds_ += video_seconds_downloaded;
-      buffer_seconds_ =
-          std::min(buffer_seconds_, params_.max_buffer_seconds);
-      buffer_seconds_ -= dt;  // playback consumes real time
-      played_seconds_ += dt;
-      playing_seconds_total_ += dt;
-      bitrate_time_integral_ += bitrate_ * dt;
-      quality_time_integral_ += perceptual_quality(bitrate_) * dt;
-      if (played_seconds_ >= duration_) {
-        state_ = State::kDone;
-      } else if (buffer_seconds_ <= 0.0) {
-        buffer_seconds_ = 0.0;
-        ++rebuffer_count_;
-        state_ = State::kRebuffering;
-        select_bitrate();  // ABR drops to the reservoir rate
-      }
-      break;
-    }
-    case State::kRebuffering: {
-      rebuffer_seconds_ += dt;
-      buffer_seconds_ += good_bytes * 8.0 / bitrate_;
-      if (buffer_seconds_ >= params_.rebuffer_resume_seconds) {
-        state_ = State::kPlaying;
-      }
-      break;
-    }
-    case State::kDone:
-      break;
-  }
-}
-
-void Session::inject_spurious_rebuffer(double seconds) noexcept {
-  if (state_ != State::kPlaying) return;
-  ++rebuffer_count_;
-  rebuffer_seconds_ += seconds;
-}
-
-SessionRecord Session::finalize() const {
-  SessionRecord r;
-  r.session_id = id_;
-  r.account_id = account_;
-  r.link = link_;
-  r.treated = treated_;
-  r.start_time = start_time_;
-  r.day = static_cast<std::uint32_t>(
-      static_cast<std::uint64_t>(start_time_) / 86400);
-  r.hour = static_cast<std::uint32_t>(
-      (static_cast<std::uint64_t>(start_time_) % 86400) / 3600);
-  r.duration = played_seconds_;
-
-  // Throughput: achievable rate, measured while the client was actually
-  // trying to fill (startup, catchup, rebuffer) — matching client QoE
-  // telemetry, which reports per-download throughput.
-  if (hungry_seconds_ > 0.0) {
-    r.avg_throughput_bps = hungry_bytes_ * 8.0 / hungry_seconds_;
-  } else if (clock_ > 0.0) {
-    r.avg_throughput_bps = (delivered_bytes_ + retransmitted_bytes_) * 8.0 /
-                           clock_;
-  }
-  r.min_rtt = min_rtt_ >= 1e9 ? 0.0 : min_rtt_;
-  r.mean_rtt =
-      rtt_samples_ == 0 ? 0.0 : rtt_sum_ / static_cast<double>(rtt_samples_);
-  const double sent = delivered_bytes_ + retransmitted_bytes_;
-  r.bytes_sent = sent;
-  r.retransmit_fraction = sent > 0.0 ? retransmitted_bytes_ / sent : 0.0;
-
-  r.play_delay = play_delay_;
-  r.cancelled_start = cancelled_;
-  if (playing_seconds_total_ > 0.0) {
-    r.avg_bitrate_bps = bitrate_time_integral_ / playing_seconds_total_;
-    r.perceptual_quality = quality_time_integral_ / playing_seconds_total_;
-    r.stability =
-        1.0 / (1.0 + 60.0 * static_cast<double>(switches_) /
-                         playing_seconds_total_);
-  }
-  r.rebuffer_count = rebuffer_count_;
-  r.rebuffer_seconds = rebuffer_seconds_;
-  r.had_rebuffer = rebuffer_count_ > 0;
-  r.bitrate_switches = switches_;
-  return r;
+      treated_(treated) {
+  SessionPool::Arrival arrival;
+  arrival.id = id;
+  arrival.account = account;
+  arrival.link = link;
+  arrival.treated = treated;
+  arrival.start_time = start_time;
+  arrival.duration = duration;
+  arrival.ladder = ladder_.get();
+  // Same draw order as the original scalar constructor: patience, then
+  // access rate.
+  arrival.patience =
+      rng.uniform(params.cancel_patience_min, params.cancel_patience_max);
+  arrival.access_rate_bps = std::clamp(
+      rng.lognormal(std::log(params.access_rate_median),
+                    params.access_rate_sigma),
+      params.access_rate_min, params.access_rate_max);
+  pool_.add(arrival);
 }
 
 }  // namespace xp::video

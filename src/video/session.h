@@ -8,47 +8,25 @@
 // cycle: each tick it publishes the rate it would like (demand), the link
 // grants a max-min fair share, and advance() integrates download progress,
 // playback, rebuffers and telemetry.
+//
+// Since the SoA rebuild this class is a pool-of-one wrapper over
+// SessionPool — the state-machine arithmetic lives there, in one place;
+// the cluster hot loop uses the pool directly. Keep using Session for
+// unit tests and one-off scalar callers.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "stats/rng.h"
-#include "video/abr.h"
-#include "video/session_record.h"
+#include "video/session_pool.h"
 
 namespace xp::video {
 
-struct SessionParams {
-  /// Video seconds that must be buffered before playback starts.
-  double startup_chunk_seconds = 4.0;
-  /// Client buffer ceiling; downloads pause once reached.
-  double max_buffer_seconds = 60.0;
-  /// Segment size: the client downloads in chunks of this many video
-  /// seconds at full speed, then idles (on-off pattern, like real
-  /// players). Throughput telemetry covers download periods only.
-  double chunk_seconds = 4.0;
-  /// Playback resumes after a rebuffer once this much is buffered.
-  double rebuffer_resume_seconds = 4.0;
-  /// Last-mile access rate: per-session download ceiling drawn log-normal
-  /// with this median and sigma, clamped to [min, max].
-  double access_rate_median = 30e6;
-  double access_rate_sigma = 0.9;
-  double access_rate_min = 1.5e6;
-  double access_rate_max = 400e6;
-  /// Fixed loss-recovery overhead (bytes per second of *video played*):
-  /// per-chunk request tails, probes, etc. — volume-independent. Capped
-  /// sessions play the same video seconds with fewer bytes, so this makes
-  /// their retransmitted *percentage* higher when congestion loss is low:
-  /// the Section 4.3 oddity (+16% off-peak, -20% peak, +10% overall).
-  double fixed_retx_bytes_per_play_second = 400.0;
-  /// Users abandon if startup exceeds a per-session patience threshold
-  /// drawn uniformly from this range (seconds).
-  double cancel_patience_min = 8.0;
-  double cancel_patience_max = 45.0;
-};
-
 class Session {
  public:
+  using State = SessionState;
+
   /// `bitrate_ceiling_bps` already folds in device class and (for treated
   /// sessions) the bitrate cap.
   Session(std::uint64_t id, std::uint64_t account, std::uint8_t link,
@@ -59,20 +37,25 @@ class Session {
 
   /// Rate (b/s) the session would like this tick (chunked: access rate
   /// while fetching, zero while idle).
-  double demand() const noexcept;
+  double demand() const noexcept { return pool_.demand(0); }
 
   /// Sustained consumption rate (b/s): what the session needs on average
   /// to keep playing at its current bitrate. Drives link congestion.
-  double sustained_load() const noexcept;
+  double sustained_load() const noexcept { return pool_.sustained_load(0); }
 
   /// Integrate one tick: `rate_bps` granted by the link, current link RTT
   /// and loss fraction.
-  void advance(double dt, double rate_bps, double rtt, double loss);
+  void advance(double dt, double rate_bps, double rtt, double loss) {
+    const double alloc[1] = {rate_bps};
+    pool_.advance_all(dt, alloc, rtt, loss);
+  }
 
-  bool finished() const noexcept { return state_ == State::kDone; }
+  bool finished() const noexcept {
+    return pool_.state(0) == SessionState::kDone;
+  }
 
   /// Produce the telemetry row. Call once, after finished().
-  SessionRecord finalize() const;
+  SessionRecord finalize() const { return pool_.finalize(0); }
 
   std::uint8_t link() const noexcept { return link_; }
   bool treated() const noexcept { return treated_; }
@@ -80,54 +63,20 @@ class Session {
   /// Inject a playback stall unrelated to the network (content/client
   /// heterogeneity; used to model the pre-existing rebuffer imbalance the
   /// paper found between the two links).
-  void inject_spurious_rebuffer(double seconds) noexcept;
+  void inject_spurious_rebuffer(double seconds) noexcept {
+    pool_.inject_spurious_rebuffer(0, seconds);
+  }
 
-  enum class State { kStartup, kPlaying, kRebuffering, kDone };
-  State state() const noexcept { return state_; }
-  double buffer_seconds() const noexcept { return buffer_seconds_; }
-  double current_bitrate() const noexcept { return bitrate_; }
+  State state() const noexcept { return pool_.state(0); }
+  double buffer_seconds() const noexcept { return pool_.buffer_seconds(0); }
+  double current_bitrate() const noexcept { return pool_.current_bitrate(0); }
 
  private:
-  void select_bitrate() noexcept;
-
-  // Identity & assignment.
-  std::uint64_t id_;
-  std::uint64_t account_;
+  // Heap-owned so the pool's ladder pointer stays valid across moves.
+  std::unique_ptr<BitrateLadder> ladder_;
+  SessionPool pool_;
   std::uint8_t link_;
   bool treated_;
-  double start_time_;
-  double duration_;
-
-  // Policy.
-  BufferBasedAbr abr_;
-  SessionParams params_;
-  double patience_;
-  double access_rate_bps_;
-
-  // Playback state.
-  State state_ = State::kStartup;
-  double clock_ = 0.0;             ///< seconds since session start
-  double buffer_seconds_ = 0.0;
-  double played_seconds_ = 0.0;
-  double bitrate_ = 0.0;
-  double startup_bytes_left_ = 0.0;
-
-  // Telemetry accumulators.
-  double delivered_bytes_ = 0.0;
-  double retransmitted_bytes_ = 0.0;
-  double hungry_bytes_ = 0.0;
-  double hungry_seconds_ = 0.0;
-  double min_rtt_ = 1e9;
-  double rtt_sum_ = 0.0;
-  std::uint64_t rtt_samples_ = 0;
-  double play_delay_ = 0.0;
-  bool cancelled_ = false;
-  std::uint32_t rebuffer_count_ = 0;
-  double rebuffer_seconds_ = 0.0;
-  std::uint32_t switches_ = 0;
-  double bitrate_time_integral_ = 0.0;
-  double quality_time_integral_ = 0.0;
-  double playing_seconds_total_ = 0.0;
 };
 
 }  // namespace xp::video

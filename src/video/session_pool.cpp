@@ -1,0 +1,406 @@
+#include "video/session_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xp::video {
+
+StallSampler::StallSampler(double per_trial_probability, std::uint64_t seed,
+                           double min_stall_seconds, double max_stall_seconds)
+    : probability_(std::min(per_trial_probability, 1.0)),
+      min_stall_seconds_(min_stall_seconds),
+      max_stall_seconds_(max_stall_seconds),
+      rng_(seed) {
+  if (probability_ > 0.0) draw_gap();
+}
+
+void StallSampler::draw_gap() noexcept {
+  if (probability_ >= 1.0) {
+    trials_left_ = 1;
+    return;
+  }
+  // gap ~ 1 + floor(log(1-u) / log(1-p)): the number of Bernoulli(p)
+  // trials up to and including the first success. u < p  <=>  gap == 1.
+  const double u = rng_.uniform();
+  const double gap =
+      std::floor(std::log1p(-u) / std::log1p(-probability_));
+  // The log ratio is finite and >= 0 for u in [0,1), p in (0,1); the cast
+  // clamp only guards pathological rounding.
+  trials_left_ =
+      1 + static_cast<std::uint64_t>(std::min(gap, 9.0e18));
+}
+
+SessionPool::SessionPool(const SessionParams& params, const AbrConfig& abr)
+    : params_(params), abr_(abr) {}
+
+void SessionPool::reserve(std::size_t sessions) {
+  identity_.reserve(sessions);
+  state_.reserve(sessions);
+  clock_.reserve(sessions);
+  buffer_seconds_.reserve(sessions);
+  bitrate_.reserve(sessions);
+  quality_.reserve(sessions);
+  startup_bytes_left_.reserve(sessions);
+  played_seconds_.reserve(sessions);
+  duration_.reserve(sessions);
+  patience_.reserve(sessions);
+  access_rate_bps_.reserve(sessions);
+  sustained_cap_.reserve(sessions);
+  rungs_.reserve(sessions);
+  rung_top_index_.reserve(sessions);
+  delivered_bytes_.reserve(sessions);
+  retransmitted_bytes_.reserve(sessions);
+  hungry_bytes_.reserve(sessions);
+  hungry_seconds_.reserve(sessions);
+  min_rtt_.reserve(sessions);
+  play_delay_.reserve(sessions);
+  rebuffer_seconds_.reserve(sessions);
+  rebuffer_count_.reserve(sessions);
+  switches_.reserve(sessions);
+  cancelled_.reserve(sessions);
+  rtt_sum_ref_.reserve(sessions);
+  rtt_ticks_ref_.reserve(sessions);
+  played_marker_.reserve(sessions);
+  bitrate_time_integral_.reserve(sessions);
+  quality_time_integral_.reserve(sessions);
+}
+
+std::size_t SessionPool::add(const Arrival& arrival) {
+  const std::size_t i = state_.size();
+  identity_.push_back({arrival.id, arrival.account, arrival.start_time,
+                       arrival.link, arrival.treated});
+  state_.push_back(SessionState::kStartup);
+  clock_.push_back(0.0);
+  buffer_seconds_.push_back(0.0);
+  const double startup_bitrate = abr_startup(*arrival.ladder, abr_);
+  bitrate_.push_back(startup_bitrate);
+  quality_.push_back(perceptual_quality(startup_bitrate));
+  startup_bytes_left_.push_back(startup_bitrate *
+                                params_.startup_chunk_seconds / 8.0);
+  played_seconds_.push_back(0.0);
+  duration_.push_back(arrival.duration);
+  patience_.push_back(arrival.patience);
+  access_rate_bps_.push_back(arrival.access_rate_bps);
+  // Desired consumption absent congestion: the top of the (possibly
+  // capped) ladder this session would stream at, plus protocol overhead,
+  // bounded by its access link. Deliberately *not* a function of the
+  // ABR-adapted bitrate: congestion must not feed back into the
+  // congestion signal, or the standing queue dissolves as soon as
+  // clients adapt — which is not what droptail queues under elastic TCP
+  // do.
+  sustained_cap_.push_back(
+      std::min(arrival.access_rate_bps, arrival.ladder->highest() * 1.10));
+  const std::span<const double> rungs = arrival.ladder->rungs();
+  rungs_.push_back(rungs.data());
+  rung_top_index_.push_back(static_cast<double>(rungs.size() - 1));
+  delivered_bytes_.push_back(0.0);
+  retransmitted_bytes_.push_back(0.0);
+  hungry_bytes_.push_back(0.0);
+  hungry_seconds_.push_back(0.0);
+  min_rtt_.push_back(1e9);
+  play_delay_.push_back(0.0);
+  rebuffer_seconds_.push_back(0.0);
+  rebuffer_count_.push_back(0);
+  switches_.push_back(0);
+  cancelled_.push_back(0);
+  rtt_sum_ref_.push_back(cum_rtt_sum_);
+  rtt_ticks_ref_.push_back(cum_rtt_ticks_);
+  played_marker_.push_back(0.0);
+  bitrate_time_integral_.push_back(0.0);
+  quality_time_integral_.push_back(0.0);
+  return i;
+}
+
+void SessionPool::gather_demand(std::vector<double>& demands,
+                                double& desired_load_bps) const {
+  const std::size_t n = state_.size();
+  demands.resize(n);
+  const double chunk = params_.chunk_seconds;
+  const double max_buffer = params_.max_buffer_seconds;
+  double desired = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inlined demand(i)/sustained_load(i), branch-light: the common case
+    // is a playing session near its buffer ceiling (idle) or fetching at
+    // access speed; kDone slots only exist transiently between advance
+    // and retire, never at gather time.
+    const SessionState s = state_[i];
+    double d = access_rate_bps_[i];
+    double cap = sustained_cap_[i];
+    if (s == SessionState::kPlaying) {
+      if (!(buffer_seconds_[i] + chunk <= max_buffer)) d = 0.0;
+    } else if (s == SessionState::kDone) {
+      d = 0.0;
+      cap = 0.0;
+    }
+    demands[i] = d;
+    desired += cap;
+  }
+  desired_load_bps = desired;
+}
+
+void SessionPool::select_bitrate(std::size_t i) noexcept {
+  const double next = abr_select_rungs(rungs_[i], rung_top_index_[i], abr_,
+                                       buffer_seconds_[i]);
+  if (next != bitrate_[i]) {
+    ++switches_[i];
+    // Close the constant-bitrate segment: the integrals advance only
+    // here and at finalize, never per tick.
+    const double segment = played_seconds_[i] - played_marker_[i];
+    if (segment > 0.0) {
+      bitrate_time_integral_[i] += bitrate_[i] * segment;
+      quality_time_integral_[i] += quality_[i] * segment;
+      played_marker_[i] = played_seconds_[i];
+    }
+    bitrate_[i] = next;
+    // Bitrates only take ladder-rung values, so caching the quality score
+    // on change replaces a log() per playing session per tick.
+    quality_[i] = perceptual_quality(next);
+  }
+}
+
+void SessionPool::advance_all(double dt, std::span<const double> alloc,
+                              double rtt, double loss,
+                              StallSampler* stalls) {
+  const std::size_t n = state_.size();
+  const double half_buffer = 0.5 * params_.max_buffer_seconds;
+  const double fixed_retx = params_.fixed_retx_bytes_per_play_second * dt;
+  const double request_latency = 2.0 * rtt;
+  const bool sample_stalls = stalls != nullptr && stalls->enabled();
+
+  // One RTT sample per alive session per tick, accumulated once for the
+  // whole pool (sessions diff the counters; see the header note).
+  cum_rtt_sum_ += rtt;
+  ++cum_rtt_ticks_;
+  const auto freeze_rtt = [this](std::size_t i) {
+    rtt_sum_ref_[i] = cum_rtt_sum_ - rtt_sum_ref_[i];
+    rtt_ticks_ref_[i] = cum_rtt_ticks_ - rtt_ticks_ref_[i];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state_[i] == SessionState::kDone) continue;
+    clock_[i] += dt;
+
+    // Telemetry common to all states. Loss consumes goodput: of the
+    // granted rate, a `loss` fraction is spent on retransmissions, plus a
+    // small fixed recovery overhead while actively downloading. Idle
+    // sessions (zero grant — the buffer-full steady state) skip the
+    // read-modify-writes entirely; every skipped term is exactly 0.0.
+    const double rate_bps = alloc[i];
+    const bool downloading = rate_bps > 0.0;
+    double good_bytes = 0.0;
+    if (downloading) {
+      const double wire_bytes = rate_bps * dt / 8.0;
+      good_bytes = wire_bytes * (1.0 - loss);
+      delivered_bytes_[i] += good_bytes;
+      retransmitted_bytes_[i] += wire_bytes * loss;
+      // Throughput telemetry counts only the fraction of the tick the
+      // session could actually use: a chunk that completes mid-tick must
+      // not dilute the measured rate (capped sessions fetch smaller
+      // chunks, so uncorrected dilution would bias their throughput low).
+      double used_fraction = 1.0;
+      if (state_[i] == SessionState::kPlaying && good_bytes > 0.0 &&
+          bitrate_[i] > 0.0) {
+        // Near the buffer ceiling the client is not network-limited at
+        // all; exclude those trickle ticks entirely (clients report
+        // throughput from full-speed chunk downloads only).
+        if (buffer_seconds_[i] > half_buffer) {
+          used_fraction = 0.0;
+        } else {
+          const double room_bytes =
+              (params_.max_buffer_seconds - buffer_seconds_[i] + dt) *
+              bitrate_[i] / 8.0;
+          used_fraction = std::clamp(room_bytes / good_bytes, 0.0, 1.0);
+        }
+      }
+      hungry_bytes_[i] += wire_bytes * used_fraction;
+      hungry_seconds_[i] += dt * used_fraction;
+    }
+    if (state_[i] == SessionState::kPlaying) {
+      retransmitted_bytes_[i] += fixed_retx;
+    }
+    min_rtt_[i] = std::min(min_rtt_[i], rtt);
+
+    switch (state_[i]) {
+      case SessionState::kStartup: {
+        const double before = startup_bytes_left_[i];
+        startup_bytes_left_[i] -= good_bytes;
+        if (startup_bytes_left_[i] <= 0.0) {
+          // Interpolate the completion instant within the tick, and add
+          // the request latency (handshake + chunk request) of two RTTs.
+          const double frac = good_bytes > 0.0 ? before / good_bytes : 1.0;
+          play_delay_[i] =
+              clock_[i] - dt + dt * std::min(frac, 1.0) + request_latency;
+          buffer_seconds_[i] = params_.startup_chunk_seconds;
+          state_[i] = SessionState::kPlaying;
+        } else if (clock_[i] >= patience_[i]) {
+          play_delay_[i] = clock_[i];
+          cancelled_[i] = 1;
+          state_[i] = SessionState::kDone;
+          freeze_rtt(i);
+        }
+        break;
+      }
+      case SessionState::kPlaying: {
+        select_bitrate(i);
+        const double video_seconds_downloaded =
+            good_bytes * 8.0 / bitrate_[i];
+        buffer_seconds_[i] += video_seconds_downloaded;
+        buffer_seconds_[i] =
+            std::min(buffer_seconds_[i], params_.max_buffer_seconds);
+        buffer_seconds_[i] -= dt;  // playback consumes real time
+        played_seconds_[i] += dt;
+        if (played_seconds_[i] >= duration_[i]) {
+          state_[i] = SessionState::kDone;
+          freeze_rtt(i);
+        } else if (buffer_seconds_[i] <= 0.0) {
+          buffer_seconds_[i] = 0.0;
+          ++rebuffer_count_[i];
+          state_[i] = SessionState::kRebuffering;
+          select_bitrate(i);  // ABR drops to the reservoir rate
+        }
+        break;
+      }
+      case SessionState::kRebuffering: {
+        rebuffer_seconds_[i] += dt;
+        buffer_seconds_[i] += good_bytes * 8.0 / bitrate_[i];
+        if (buffer_seconds_[i] >= params_.rebuffer_resume_seconds) {
+          state_[i] = SessionState::kPlaying;
+        }
+        break;
+      }
+      case SessionState::kDone:
+        break;
+    }
+
+    // Spurious (content-driven) stalls: one skip-sampling trial per
+    // session that ends the tick playing — the same post-advance
+    // Bernoulli the old loop paid a uniform draw for.
+    if (sample_stalls && state_[i] == SessionState::kPlaying &&
+        stalls->step()) {
+      ++rebuffer_count_[i];
+      rebuffer_seconds_[i] += stalls->draw_stall_seconds();
+    }
+  }
+}
+
+void SessionPool::inject_spurious_rebuffer(std::size_t i,
+                                           double seconds) noexcept {
+  if (state_[i] != SessionState::kPlaying) return;
+  ++rebuffer_count_[i];
+  rebuffer_seconds_[i] += seconds;
+}
+
+SessionRecord SessionPool::finalize(std::size_t i) const {
+  SessionRecord r;
+  const Identity& who = identity_[i];
+  r.session_id = who.id;
+  r.account_id = who.account;
+  r.link = who.link;
+  r.treated = who.treated;
+  r.start_time = who.start_time;
+  r.day = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(who.start_time) / 86400);
+  r.hour = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(who.start_time) % 86400) / 3600);
+  r.duration = played_seconds_[i];
+
+  // Throughput: achievable rate, measured while the client was actually
+  // trying to fill (startup, catchup, rebuffer) — matching client QoE
+  // telemetry, which reports per-download throughput.
+  if (hungry_seconds_[i] > 0.0) {
+    r.avg_throughput_bps = hungry_bytes_[i] * 8.0 / hungry_seconds_[i];
+  } else if (clock_[i] > 0.0) {
+    r.avg_throughput_bps =
+        (delivered_bytes_[i] + retransmitted_bytes_[i]) * 8.0 / clock_[i];
+  }
+  r.min_rtt = min_rtt_[i] >= 1e9 ? 0.0 : min_rtt_[i];
+  // Refs hold frozen totals once done, entry snapshots while alive.
+  const bool done = state_[i] == SessionState::kDone;
+  const double rtt_sum =
+      done ? rtt_sum_ref_[i] : cum_rtt_sum_ - rtt_sum_ref_[i];
+  const std::uint64_t rtt_ticks =
+      done ? rtt_ticks_ref_[i] : cum_rtt_ticks_ - rtt_ticks_ref_[i];
+  r.mean_rtt =
+      rtt_ticks == 0 ? 0.0 : rtt_sum / static_cast<double>(rtt_ticks);
+  const double sent = delivered_bytes_[i] + retransmitted_bytes_[i];
+  r.bytes_sent = sent;
+  r.retransmit_fraction = sent > 0.0 ? retransmitted_bytes_[i] / sent : 0.0;
+
+  r.play_delay = play_delay_[i];
+  r.cancelled_start = cancelled_[i] != 0;
+  if (played_seconds_[i] > 0.0) {
+    // Close the open constant-bitrate segment (without mutating state).
+    const double segment = played_seconds_[i] - played_marker_[i];
+    const double bitrate_integral =
+        bitrate_time_integral_[i] + bitrate_[i] * segment;
+    const double quality_integral =
+        quality_time_integral_[i] + quality_[i] * segment;
+    r.avg_bitrate_bps = bitrate_integral / played_seconds_[i];
+    r.perceptual_quality = quality_integral / played_seconds_[i];
+    r.stability =
+        1.0 / (1.0 + 60.0 * static_cast<double>(switches_[i]) /
+                         played_seconds_[i]);
+  }
+  r.rebuffer_count = rebuffer_count_[i];
+  r.rebuffer_seconds = rebuffer_seconds_[i];
+  r.had_rebuffer = rebuffer_count_[i] > 0;
+  r.bitrate_switches = switches_[i];
+  return r;
+}
+
+void SessionPool::retire_finished(std::vector<SessionRecord>& out,
+                                  std::uint64_t& completed) {
+  for (std::size_t i = 0; i < state_.size();) {
+    if (state_[i] == SessionState::kDone) {
+      out.push_back(finalize(i));
+      ++completed;
+      swap_remove(i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void SessionPool::flush_all(std::vector<SessionRecord>& out) const {
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    out.push_back(finalize(i));
+  }
+}
+
+void SessionPool::swap_remove(std::size_t i) {
+  const auto move_back = [i](auto& arr) {
+    arr[i] = arr.back();
+    arr.pop_back();
+  };
+  move_back(identity_);
+  move_back(state_);
+  move_back(clock_);
+  move_back(buffer_seconds_);
+  move_back(bitrate_);
+  move_back(quality_);
+  move_back(startup_bytes_left_);
+  move_back(played_seconds_);
+  move_back(duration_);
+  move_back(patience_);
+  move_back(access_rate_bps_);
+  move_back(sustained_cap_);
+  move_back(rungs_);
+  move_back(rung_top_index_);
+  move_back(delivered_bytes_);
+  move_back(retransmitted_bytes_);
+  move_back(hungry_bytes_);
+  move_back(hungry_seconds_);
+  move_back(min_rtt_);
+  move_back(play_delay_);
+  move_back(rebuffer_seconds_);
+  move_back(rebuffer_count_);
+  move_back(switches_);
+  move_back(cancelled_);
+  move_back(rtt_sum_ref_);
+  move_back(rtt_ticks_ref_);
+  move_back(played_marker_);
+  move_back(bitrate_time_integral_);
+  move_back(quality_time_integral_);
+}
+
+}  // namespace xp::video

@@ -1,0 +1,264 @@
+// Struct-of-arrays session pool: the paired-link cluster's hot state.
+//
+// Every active session on a link lives in one slot of a set of parallel
+// arrays (state machine, buffer level, demand inputs, telemetry
+// accumulators), so the tick loop streams contiguous memory instead of
+// chasing one heap object per session. Slots retire by swap-erase — the
+// back slot moves into the hole and the capacity is recycled, so the
+// steady-state tick performs zero heap allocations. Sessions reference a
+// caller-owned BitrateLadder (the cluster precomputes the six
+// device x treatment ladders once per run), so arrivals allocate nothing
+// either.
+//
+// The scalar `Session` class (session.h) is a pool-of-one wrapper kept for
+// unit tests and external callers; the state-machine arithmetic lives
+// here, in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+#include "video/abr.h"
+#include "video/session_record.h"
+
+namespace xp::video {
+
+struct SessionParams {
+  /// Video seconds that must be buffered before playback starts.
+  double startup_chunk_seconds = 4.0;
+  /// Client buffer ceiling; downloads pause once reached.
+  double max_buffer_seconds = 60.0;
+  /// Segment size: the client downloads in chunks of this many video
+  /// seconds at full speed, then idles (on-off pattern, like real
+  /// players). Throughput telemetry covers download periods only.
+  double chunk_seconds = 4.0;
+  /// Playback resumes after a rebuffer once this much is buffered.
+  double rebuffer_resume_seconds = 4.0;
+  /// Last-mile access rate: per-session download ceiling drawn log-normal
+  /// with this median and sigma, clamped to [min, max].
+  double access_rate_median = 30e6;
+  double access_rate_sigma = 0.9;
+  double access_rate_min = 1.5e6;
+  double access_rate_max = 400e6;
+  /// Fixed loss-recovery overhead (bytes per second of *video played*):
+  /// per-chunk request tails, probes, etc. — volume-independent. Capped
+  /// sessions play the same video seconds with fewer bytes, so this makes
+  /// their retransmitted *percentage* higher when congestion loss is low:
+  /// the Section 4.3 oddity (+16% off-peak, -20% peak, +10% overall).
+  double fixed_retx_bytes_per_play_second = 400.0;
+  /// Users abandon if startup exceeds a per-session patience threshold
+  /// drawn uniformly from this range (seconds).
+  double cancel_patience_min = 8.0;
+  double cancel_patience_max = 45.0;
+};
+
+/// Session playback state machine: startup -> playing <-> rebuffering ->
+/// done. One byte, so the pool's state pass streams 64 sessions per cache
+/// line.
+enum class SessionState : std::uint8_t {
+  kStartup,
+  kPlaying,
+  kRebuffering,
+  kDone,
+};
+
+/// Geometric skip-sampler for rare per-(session, tick) Bernoulli events.
+///
+/// Instead of one uniform draw per playing session per tick to thin
+/// spurious stalls (the old hot-loop cost: tens of millions of draws per
+/// simulated day), draw the *gap* between successes once per event:
+/// gap ~ 1 + floor(log(1-u) / log(1-p)) Bernoulli trials, consumed one
+/// per playing session. The fired-trial distribution is identical to
+/// per-trial coin flips; only the RNG stream layout differs (one stream
+/// per link instead of draws interleaved in the arrival stream).
+class StallSampler {
+ public:
+  StallSampler() = default;
+  StallSampler(double per_trial_probability, std::uint64_t seed,
+               double min_stall_seconds = 0.5,
+               double max_stall_seconds = 3.0);
+
+  bool enabled() const noexcept { return probability_ > 0.0; }
+
+  /// Consume one Bernoulli(p) trial; true when the event fires.
+  bool step() noexcept {
+    if (probability_ <= 0.0) return false;
+    if (--trials_left_ > 0) return false;
+    draw_gap();
+    return true;
+  }
+
+  /// Stall duration for a fired event (uniform, same stream as the gaps).
+  double draw_stall_seconds() noexcept {
+    return rng_.uniform(min_stall_seconds_, max_stall_seconds_);
+  }
+
+ private:
+  void draw_gap() noexcept;
+
+  double probability_ = 0.0;
+  double min_stall_seconds_ = 0.5;
+  double max_stall_seconds_ = 3.0;
+  std::uint64_t trials_left_ = 0;
+  stats::Rng rng_;
+};
+
+class SessionPool {
+ public:
+  SessionPool(const SessionParams& params, const AbrConfig& abr);
+
+  /// Everything a new session needs. `ladder` is not owned: it must stay
+  /// valid (and at a stable address) for the session's lifetime — the
+  /// cluster points sessions at its per-run ladder cache.
+  struct Arrival {
+    std::uint64_t id = 0;
+    std::uint64_t account = 0;
+    std::uint8_t link = 0;
+    bool treated = false;
+    double start_time = 0.0;
+    double duration = 0.0;
+    const BitrateLadder* ladder = nullptr;
+    double patience = 0.0;
+    double access_rate_bps = 0.0;
+  };
+
+  /// Append a session; returns its slot index (valid until a retire pass).
+  std::size_t add(const Arrival& arrival);
+
+  void reserve(std::size_t sessions);
+  std::size_t size() const noexcept { return state_.size(); }
+  bool empty() const noexcept { return state_.empty(); }
+
+  // ----- tick passes (each streams the arrays once) ------------------
+
+  /// Pass 1: write per-slot instantaneous demand (b/s) into `demands`
+  /// (resized to size(); capacity reused across ticks) and accumulate the
+  /// aggregate congestion-free desired load.
+  void gather_demand(std::vector<double>& demands,
+                     double& desired_load_bps) const;
+
+  /// Pass 3 (pass 2 is the link's allocation): integrate one tick given
+  /// the per-slot grants and the link's RTT/loss. `stalls`, when enabled,
+  /// consumes one skip-sampling trial per session that ends the tick in
+  /// kPlaying (the old per-session uniform draw, without the draw).
+  void advance_all(double dt, std::span<const double> alloc, double rtt,
+                   double loss, StallSampler* stalls = nullptr);
+
+  /// Pass 4: finalize every kDone slot into `out` (bumping `completed`)
+  /// and recycle its slot via swap-erase.
+  void retire_finished(std::vector<SessionRecord>& out,
+                       std::uint64_t& completed);
+
+  /// Finalize every still-active slot (partial telemetry is valid; the
+  /// paper's datasets flush the same way at the experiment boundary).
+  void flush_all(std::vector<SessionRecord>& out) const;
+
+  // ----- per-slot accessors (the Session wrapper and tests) ----------
+
+  SessionState state(std::size_t i) const noexcept { return state_[i]; }
+  double buffer_seconds(std::size_t i) const noexcept {
+    return buffer_seconds_[i];
+  }
+  double current_bitrate(std::size_t i) const noexcept { return bitrate_[i]; }
+
+  double demand(std::size_t i) const noexcept {
+    switch (state_[i]) {
+      case SessionState::kStartup:
+      case SessionState::kRebuffering:
+        return access_rate_bps_[i];
+      case SessionState::kPlaying:
+        // On-off chunked downloads: fetch at full access speed while
+        // there is room for another chunk, then idle.
+        return buffer_seconds_[i] + params_.chunk_seconds <=
+                       params_.max_buffer_seconds
+                   ? access_rate_bps_[i]
+                   : 0.0;
+      case SessionState::kDone:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  /// Sustained consumption rate (b/s) absent congestion: capped ladder
+  /// top x overhead, access-limited. Precomputed at add() — the value is
+  /// per-session constant, so the gather pass never chases the ladder.
+  double sustained_load(std::size_t i) const noexcept {
+    return state_[i] == SessionState::kDone ? 0.0 : sustained_cap_[i];
+  }
+
+  /// Inject a playback stall unrelated to the network (content/client
+  /// heterogeneity). No-op unless the session is playing.
+  void inject_spurious_rebuffer(std::size_t i, double seconds) noexcept;
+
+  /// Produce the telemetry row for slot `i` (does not retire it).
+  SessionRecord finalize(std::size_t i) const;
+
+ private:
+  void select_bitrate(std::size_t i) noexcept;
+  void swap_remove(std::size_t i);
+
+  SessionParams params_;
+  AbrConfig abr_;
+
+  // Identity: only touched at add/finalize/swap, so it stays AoS.
+  struct Identity {
+    std::uint64_t id;
+    std::uint64_t account;
+    double start_time;
+    std::uint8_t link;
+    bool treated;
+  };
+  std::vector<Identity> identity_;
+
+  // Hot per-tick state, one contiguous array per field.
+  std::vector<SessionState> state_;
+  std::vector<double> clock_;
+  std::vector<double> buffer_seconds_;
+  std::vector<double> bitrate_;
+  std::vector<double> quality_;  ///< perceptual_quality(bitrate_), cached
+  std::vector<double> startup_bytes_left_;
+  std::vector<double> played_seconds_;
+  std::vector<double> duration_;
+  std::vector<double> patience_;
+  std::vector<double> access_rate_bps_;
+  std::vector<double> sustained_cap_;
+  // The session's ladder, flattened at add(): raw rung array + top index
+  // (as double, premultiplied shape for the ABR interpolation), so bitrate
+  // selection is one indexed load instead of two pointer chases through a
+  // BitrateLadder and its vector.
+  std::vector<const double*> rungs_;
+  std::vector<double> rung_top_index_;
+
+  // Telemetry accumulators.
+  std::vector<double> delivered_bytes_;
+  std::vector<double> retransmitted_bytes_;
+  std::vector<double> hungry_bytes_;
+  std::vector<double> hungry_seconds_;
+  std::vector<double> min_rtt_;
+  std::vector<double> play_delay_;
+  std::vector<double> rebuffer_seconds_;
+  std::vector<std::uint32_t> rebuffer_count_;
+  std::vector<std::uint32_t> switches_;
+  std::vector<std::uint8_t> cancelled_;
+
+  // Per-session RTT mean without per-session per-tick accumulation: the
+  // link RTT is one value per tick, so the pool keeps cumulative (sum,
+  // ticks) counters bumped once per advance_all and each session stores
+  // its entry snapshot. While alive, a session's accrual is cum - ref;
+  // at the kDone transition the refs are frozen into totals.
+  double cum_rtt_sum_ = 0.0;
+  std::uint64_t cum_rtt_ticks_ = 0;
+  std::vector<double> rtt_sum_ref_;
+  std::vector<std::uint64_t> rtt_ticks_ref_;
+
+  // Bitrate/quality time integrals accrued lazily: bitrate is piecewise
+  // constant in played-seconds, so the integral advances only when the
+  // ABR switches (and at finalize), not every playing tick.
+  std::vector<double> played_marker_;
+  std::vector<double> bitrate_time_integral_;
+  std::vector<double> quality_time_integral_;
+};
+
+}  // namespace xp::video

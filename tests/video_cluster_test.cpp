@@ -1,0 +1,258 @@
+// Paired-link cluster hot path: pre/post-refactor invariants of
+// run_paired_links (record conservation, series shapes, finite telemetry),
+// thread-count bit-identity of the paired_links/* scenarios through the
+// registry, the allocation-free water-filling fast path, and the
+// geometric stall skip-sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "lab/experiment.h"
+#include "lab/registry.h"
+#include "stats/rng.h"
+#include "util/runner.h"
+#include "video/cluster.h"
+#include "video/fluid_link.h"
+#include "video/session_pool.h"
+
+namespace xp {
+namespace {
+
+bool all_finite(const video::SessionRecord& r) {
+  for (double v :
+       {r.start_time, r.duration, r.avg_throughput_bps, r.min_rtt,
+        r.mean_rtt, r.retransmit_fraction, r.bytes_sent, r.play_delay,
+        r.avg_bitrate_bps, r.perceptual_quality, r.rebuffer_seconds,
+        r.stability}) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+TEST(PairedLinksInvariants, EveryStartedSessionYieldsExactlyOneRecord) {
+  video::ClusterConfig config;
+  config.days = 0.25;  // covers the overnight trough and the morning ramp
+  config.seed = 9001;
+  const video::ClusterResult result = video::run_paired_links(config);
+
+  ASSERT_GT(result.stats.sessions_started, 100u);
+  // Conservation: every started session is either completed (retired
+  // mid-run) or flushed at the horizon — exactly one record each.
+  EXPECT_EQ(result.sessions.size(), result.stats.sessions_started);
+  EXPECT_LE(result.stats.sessions_completed, result.stats.sessions_started);
+  const std::uint64_t flushed =
+      result.stats.sessions_started - result.stats.sessions_completed;
+  EXPECT_EQ(result.sessions.size(),
+            result.stats.sessions_completed + flushed);
+
+  // Record ids are unique and dense (1..n, in some order).
+  std::vector<bool> seen(result.sessions.size() + 1, false);
+  for (const auto& row : result.sessions) {
+    ASSERT_GE(row.session_id, 1u);
+    ASSERT_LE(row.session_id, result.sessions.size());
+    EXPECT_FALSE(seen[row.session_id]) << "duplicate id " << row.session_id;
+    seen[row.session_id] = true;
+  }
+}
+
+TEST(PairedLinksInvariants, HourlySeriesSpanTheHorizonOnBothLinks) {
+  video::ClusterConfig config;
+  config.days = 0.25;
+  config.seed = 9001;
+  const video::ClusterResult result = video::run_paired_links(config);
+
+  const auto expected_hours =
+      static_cast<std::size_t>(config.days * 86400.0 / 3600.0) + 1;
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_EQ(result.hourly_utilization[l].size(), expected_hours);
+    EXPECT_EQ(result.hourly_rtt[l].size(), expected_hours);
+    for (std::size_t h = 0; h < expected_hours; ++h) {
+      EXPECT_TRUE(std::isfinite(result.hourly_utilization[l][h]));
+      EXPECT_TRUE(std::isfinite(result.hourly_rtt[l][h]));
+      EXPECT_GE(result.hourly_utilization[l][h], 0.0);
+      EXPECT_LE(result.hourly_utilization[l][h], 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(PairedLinksInvariants, NoNaNsAndSaneRangesInEveryRecord) {
+  video::ClusterConfig config;
+  config.days = 0.25;
+  config.seed = 77;
+  const video::ClusterResult result = video::run_paired_links(config);
+  ASSERT_FALSE(result.sessions.empty());
+  for (const auto& row : result.sessions) {
+    ASSERT_TRUE(all_finite(row)) << "session " << row.session_id;
+    EXPECT_GE(row.duration, 0.0);
+    EXPECT_GE(row.bytes_sent, 0.0);
+    EXPECT_GE(row.retransmit_fraction, 0.0);
+    EXPECT_LE(row.retransmit_fraction, 1.0);
+    EXPECT_GE(row.min_rtt, 0.0);
+    EXPECT_LE(row.min_rtt, row.mean_rtt + 1e-12);
+    EXPECT_LE(row.link, 1);
+    EXPECT_GE(row.stability, 0.0);
+    EXPECT_LE(row.stability, 1.0);
+    EXPECT_LE(row.perceptual_quality, 100.0);
+    EXPECT_TRUE(row.had_rebuffer == (row.rebuffer_count > 0));
+  }
+}
+
+TEST(PairedLinksRegistry, ScenariosAreBitIdenticalAcrossThreadCounts) {
+  // The determinism contract in its real form: a registry run is a pure
+  // function of (config, seed) — bit-for-bit identical at 1 vs 4 threads
+  // (the RNG draw order *inside* one run is not pinned across refactors,
+  // which is why these are fresh-world comparisons, not golden values).
+  util::Runner serial(1);
+  util::Runner pool(4);
+  for (const char* name :
+       {"paired_links/experiment", "paired_links/baseline"}) {
+    SCOPED_TRACE(name);
+    lab::ExperimentSpec spec;
+    spec.scenario = name;
+    spec.tuning.duration_scale = 0.04;
+    spec.replicates = 2;
+    spec.seed = 321;
+
+    const auto report1 = lab::run_experiment(spec, serial);
+    const auto reportN = lab::run_experiment(spec, pool);
+
+    ASSERT_EQ(report1.cells.size(), reportN.cells.size());
+    for (std::size_t c = 0; c < report1.cells.size(); ++c) {
+      const lab::ObservationTable& a = report1.cells[c].table;
+      const lab::ObservationTable& b = reportN.cells[c].table;
+      ASSERT_EQ(a.metrics, b.metrics);
+      ASSERT_EQ(a.columns.size(), b.columns.size());
+      for (std::size_t col = 0; col < a.columns.size(); ++col) {
+        ASSERT_EQ(a.columns[col].size(), b.columns[col].size());
+        for (std::size_t r = 0; r < a.columns[col].size(); ++r) {
+          // Bit-for-bit, not approximately.
+          ASSERT_EQ(a.columns[col][r].outcome, b.columns[col][r].outcome);
+          ASSERT_EQ(a.columns[col][r].unit, b.columns[col][r].unit);
+          ASSERT_EQ(a.columns[col][r].treated, b.columns[col][r].treated);
+        }
+      }
+      ASSERT_EQ(a.aggregates, b.aggregates);
+      ASSERT_EQ(a.series, b.series);
+    }
+  }
+}
+
+TEST(WaterFilling, IntoVariantMatchesReferenceWaterFill) {
+  // The allocation-free fast path (zero skip, undersubscribed shortcut,
+  // iterative level refinement) must agree with a straightforward sorted
+  // water-fill on arbitrary demand mixes.
+  stats::Rng rng(5);
+  std::vector<std::uint32_t> scratch;
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::size_t n = 1 + rng.uniform_int(40);
+    std::vector<double> demands(n);
+    for (auto& d : demands) {
+      const double u = rng.uniform();
+      d = u < 0.3 ? 0.0 : rng.uniform(0.0, 10.0);  // mix in idle sessions
+    }
+    const double capacity = rng.uniform(0.5, 60.0);
+
+    // Reference: sorted water-fill, sequential fair shares.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return demands[a] < demands[b];
+    });
+    std::vector<double> expected(n, 0.0);
+    double remaining = capacity;
+    std::size_t left = n;
+    for (std::size_t i : order) {
+      const double fair = remaining / static_cast<double>(left);
+      const double grant = std::min(std::max(demands[i], 0.0), fair);
+      expected[i] = grant;
+      remaining -= grant;
+      --left;
+    }
+
+    std::vector<double> alloc(n);
+    const double delivered = video::max_min_fair_allocation_into(
+        demands, capacity, alloc, scratch);
+    double expected_total = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(alloc[i], expected[i], 1e-9 * (1.0 + expected[i]));
+      EXPECT_LE(alloc[i], std::max(demands[i], 0.0) + 1e-9);
+      expected_total += expected[i];
+      total += alloc[i];
+    }
+    EXPECT_NEAR(total, expected_total, 1e-6);
+    EXPECT_NEAR(delivered, total, 1e-6);
+    EXPECT_LE(total, capacity + 1e-6);
+  }
+}
+
+TEST(StallSampler, SkipSamplingMatchesBernoulliRate) {
+  // Geometric gaps must reproduce the per-trial firing rate p within
+  // binomial noise.
+  const double p = 0.004;
+  const std::size_t trials = 400000;
+  video::StallSampler sampler(p, /*seed=*/99);
+  ASSERT_TRUE(sampler.enabled());
+  std::size_t fires = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (sampler.step()) {
+      ++fires;
+      const double s = sampler.draw_stall_seconds();
+      EXPECT_GE(s, 0.5);
+      EXPECT_LE(s, 3.0);
+    }
+  }
+  const double expected = p * static_cast<double>(trials);
+  const double sigma = std::sqrt(expected * (1.0 - p));
+  EXPECT_NEAR(static_cast<double>(fires), expected, 5.0 * sigma);
+}
+
+TEST(StallSampler, DisabledAtZeroRateAndCertainAtOne) {
+  video::StallSampler off(0.0, 1);
+  EXPECT_FALSE(off.enabled());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(off.step());
+
+  video::StallSampler always(1.0, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(always.step());
+}
+
+TEST(SessionPool, SlotRecyclingPreservesSurvivorState) {
+  // Retiring a middle slot swap-moves the back slot in; the survivor's
+  // telemetry must ride along intact.
+  const video::BitrateLadder& ladder = video::BitrateLadder::shared_standard();
+  video::SessionPool pool{video::SessionParams{}, video::AbrConfig{}};
+  auto arrival = [&](std::uint64_t id, double duration) {
+    video::SessionPool::Arrival a;
+    a.id = id;
+    a.account = id;
+    a.duration = duration;
+    a.ladder = &ladder;
+    a.patience = 30.0;
+    a.access_rate_bps = 50e6;
+    return a;
+  };
+  pool.add(arrival(1, 20.0));   // finishes quickly
+  pool.add(arrival(2, 3600.0));  // long-lived survivor
+  std::vector<double> demands, alloc(2, 30e6);
+  double desired = 0.0;
+  std::vector<video::SessionRecord> records;
+  std::uint64_t completed = 0;
+  for (int tick = 0; tick < 40; ++tick) {
+    pool.gather_demand(demands, desired);
+    alloc.assign(pool.size(), 30e6);
+    pool.advance_all(1.0, alloc, 0.03, 0.0);
+    pool.retire_finished(records, completed);
+  }
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].session_id, 1u);
+  EXPECT_EQ(completed, 1u);
+  ASSERT_EQ(pool.size(), 1u);
+  const video::SessionRecord survivor = pool.finalize(0);
+  EXPECT_EQ(survivor.session_id, 2u);
+  EXPECT_NEAR(survivor.duration, 40.0, 5.0);  // still playing
+  EXPECT_TRUE(all_finite(survivor));
+}
+
+}  // namespace
+}  // namespace xp
