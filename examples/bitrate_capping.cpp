@@ -51,5 +51,21 @@ int main() {
       "note how the within-link (naive) estimates sit near zero while the "
       "cross-link TTE is large:\ntreatment and control share the same "
       "queue, so they cannot diverge on the same link.\n");
+
+  // The treatment is a named policy, so asking "what if we had capped
+  // harder?" is one scenario key away (see video/policy.h for the
+  // registered policies and parameterized families).
+  spec.scenario = "paired_links/cap_50";
+  const auto harder = xp::lab::run_experiment(spec);
+  const auto& harder_tte = harder.estimates_for("paired_link/tte");
+  std::printf("\nsame week under the cap/0.5 policy instead:\n");
+  for (auto metric :
+       {xp::core::Metric::kMinRtt, xp::core::Metric::kBitrate}) {
+    const std::string name(metric_name(metric));
+    std::printf("  %s TTE: %s\n", name.c_str(),
+                xp::core::format_relative(
+                    harder_tte.row(name + "/tte").effect())
+                    .c_str());
+  }
   return 0;
 }

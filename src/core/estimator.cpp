@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "core/string_registry.h"
+#include "util/string_registry.h"
 #include "core/designs/event_study.h"
 #include "core/designs/paired_link.h"
 #include "core/designs/switchback.h"
@@ -603,8 +603,8 @@ void install_builtins(std::map<std::string, EstimatorFactory>& reg) {
   add("aa/null", [] { return std::make_unique<AaNullEstimator>(); });
 }
 
-detail::StringRegistry<EstimatorFactory>& registry() {
-  static detail::StringRegistry<EstimatorFactory> instance("estimator",
+util::StringRegistry<EstimatorFactory>& registry() {
+  static util::StringRegistry<EstimatorFactory> instance("estimator",
                                                            install_builtins);
   return instance;
 }

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "core/session_metrics.h"
-#include "core/string_registry.h"
+#include "util/string_registry.h"
 #include "video/cluster.h"
 
 namespace xp::lab {
@@ -160,10 +160,36 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
         scaled(canonical_baseline_config(), opt.duration_scale),
         /*allocation_sets_treatment=*/false);
   });
+
+  // Policy-backed experiment families: the canonical week with the arm
+  // policies swapped out (video/policy.h). One registry line per
+  // treatment — the whole point of the policy layer.
+  const auto paired_policy = [&](const char* name, const char* control,
+                                 const char* treatment) {
+    reg.emplace(name, [name, control, treatment](const SourceOptions& opt) {
+      video::ClusterConfig config =
+          scaled(canonical_experiment_config(), opt.duration_scale);
+      config.control_policy = control;
+      config.treatment_policy = treatment;
+      return std::make_unique<PairedLinkSource>(
+          name, config, /*allocation_sets_treatment=*/true);
+    });
+  };
+  // Deeper capping than the 2020 program ran: does halving the ceiling
+  // double the congestion relief?
+  paired_policy("paired_links/cap_50", "control", "cap/0.5");
+  // Resolution-preserving trim: drop the top two encodes instead of
+  // capping fractionally.
+  paired_policy("paired_links/drop_top", "control", "drop_top/2");
+  // ABR as the treatment: same ladders, hybrid control vs rate-based
+  // treatment — client adaptation policy under shared congestion.
+  paired_policy("paired_links/abr_swap", "control", "rate");
+  // Head-to-head ABR experiment: buffer-based BBA vs throughput-based.
+  paired_policy("paired_links/bba_vs_rate", "bba", "rate");
 }
 
-core::detail::StringRegistry<SourceFactory>& registry() {
-  static core::detail::StringRegistry<SourceFactory> instance(
+util::StringRegistry<SourceFactory>& registry() {
+  static util::StringRegistry<SourceFactory> instance(
       "scenario", install_builtins);
   return instance;
 }

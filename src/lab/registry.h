@@ -12,8 +12,17 @@
 //   paired_links/baseline      Section 4.1 A/A week (no treatment anywhere;
 //                              ignores the allocation)
 //
+// plus the policy-backed experiment families (video/policy.h — the same
+// paired-link week with the arm treatment policies swapped):
+//
+//   paired_links/cap_50        fractional capping at 50% of the ceiling
+//   paired_links/drop_top      top-two-rung removal instead of capping
+//   paired_links/abr_swap      hybrid control vs rate-based-ABR treatment
+//   paired_links/bba_vs_rate   buffer-based BBA vs rate-based ABR
+//
 // The canonical configurations live in this translation unit only —
-// benches, examples, and tests all obtain them from here.
+// benches, examples, and tests all obtain them from here. A new treatment
+// lands as one TreatmentPolicy + one register_scenario call.
 #pragma once
 
 #include <functional>

@@ -1,9 +1,13 @@
-// Internal helper shared by the scenario and estimator registries: a
-// mutex-guarded string-keyed factory map with install-builtins-on-first-
-// use, a duplicate-name throw on registration, and an unknown-name throw
-// that lists every registered key. Keeping both registries on one
-// implementation keeps their contracts (error wording, locking,
-// builtin installation) from drifting apart.
+// Internal helper shared by the scenario, estimator, and treatment-policy
+// registries: a mutex-guarded string-keyed factory map with
+// install-builtins-on-first-use, a duplicate-name throw on registration,
+// and an unknown-name throw that lists every registered key. Keeping the
+// registries on one implementation keeps their contracts (error wording,
+// locking, builtin installation) from drifting apart.
+//
+// Lives in util/ (the bottom layer) so every layer may publish a registry:
+// core/ and lab/ key estimators and scenarios here, video/ keys treatment
+// policies.
 #pragma once
 
 #include <functional>
@@ -16,17 +20,22 @@
 #include <utility>
 #include <vector>
 
-namespace xp::core::detail {
+namespace xp::util {
 
 template <typename Factory>
 class StringRegistry {
  public:
   /// `kind` drives the error wording ("scenario", "estimator"); `install`
   /// runs once, under the lock, before the first operation, publishing
-  /// the built-in factories.
+  /// the built-in factories. `advertised` names parameterized key
+  /// families the caller resolves itself (e.g. "cap/<fraction>"): they
+  /// are listed in unknown-name errors but are not map entries.
   StringRegistry(std::string kind,
-                 std::function<void(std::map<std::string, Factory>&)> install)
-      : kind_(std::move(kind)), install_(std::move(install)) {}
+                 std::function<void(std::map<std::string, Factory>&)> install,
+                 std::vector<std::string> advertised = {})
+      : kind_(std::move(kind)),
+        install_(std::move(install)),
+        advertised_(std::move(advertised)) {}
 
   /// register_<kind>: throws std::invalid_argument on duplicate names.
   void add(std::string name, Factory factory) {
@@ -36,8 +45,8 @@ class StringRegistry {
   }
 
   /// make_<kind>: unknown names throw std::invalid_argument listing every
-  /// registered name. Returns the factory by value so callers invoke it
-  /// outside the lock.
+  /// registered name (and advertised key family). Returns the factory by
+  /// value so callers invoke it outside the lock.
   Factory find(std::string_view name) {
     std::lock_guard<std::mutex> lock(mu_);
     ensure_builtins_locked();
@@ -48,6 +57,9 @@ class StringRegistry {
               << "\"; registered " << kind_ << "s:";
       for (const auto& [key, unused] : factories_) {
         message << " \"" << key << "\"";
+      }
+      for (const std::string& pattern : advertised_) {
+        message << " \"" << pattern << "\"";
       }
       throw std::invalid_argument(message.str());
     }
@@ -83,9 +95,10 @@ class StringRegistry {
 
   std::string kind_;
   std::function<void(std::map<std::string, Factory>&)> install_;
+  std::vector<std::string> advertised_;
   std::mutex mu_;
   bool installed_ = false;
   std::map<std::string, Factory> factories_;
 };
 
-}  // namespace xp::core::detail
+}  // namespace xp::util

@@ -1,8 +1,19 @@
-// Buffer-based adaptive bitrate selection (BBA-style, after Huang et al.,
-// the paper's reference [42]): the client maps its playback buffer level
-// to a ladder rung — a reservoir of low-rate safety at the bottom, a
-// linear cushion in the middle, and max rate once comfortable. A bitrate
-// cap (the Section 4 treatment) simply truncates the ladder.
+// Adaptive bitrate selection strategies over a flattened ladder (raw
+// ascending rung array + top index). Three are provided, one per AbrKind
+// in video/policy.h:
+//
+//  * abr_select_rungs — the repo's original hybrid: the client maps its
+//    playback buffer level to a ladder *index* (a reservoir of low-rate
+//    safety at the bottom, a linear cushion in the middle, max rate once
+//    comfortable), with a fixed throughput-informed startup rate.
+//  * bba_select_rungs — BBA-proper (Huang et al., the paper's reference
+//    [42]): the same reservoir/cushion map but linear in *rate*, then the
+//    highest rung under the mapped rate; startup at the lowest rung.
+//  * rate_select_rungs — throughput-based: highest rung under a safety
+//    fraction of the smoothed download rate, buffer ignored.
+//
+// A bitrate cap (the Section 4 treatment) simply truncates the ladder,
+// so every strategy composes with every ladder treatment.
 #pragma once
 
 #include <algorithm>
@@ -35,6 +46,41 @@ inline double abr_select_rungs(const double* rungs, double top_index,
       0.0, 1.0);
   // Linear interpolation across ladder indices.
   return rungs[static_cast<std::size_t>(std::floor(t * top_index))];
+}
+
+/// Highest rung <= `value`, floored at the lowest rung. The ladder is a
+/// dozen rungs, so a forward scan beats a binary search and its branch
+/// misses in the tick loop.
+inline double rung_at_most(const double* rungs, double top_index,
+                           double value) noexcept {
+  const auto top = static_cast<std::size_t>(top_index);
+  std::size_t pick = 0;
+  for (std::size_t r = 1; r <= top && rungs[r] <= value; ++r) pick = r;
+  return rungs[pick];
+}
+
+/// BBA-proper buffer map: reservoir -> lowest, then linear in *rate* up
+/// the cushion, then highest. Differs from the hybrid map above (linear
+/// in ladder index) exactly as Huang et al.'s f(B) differs from an index
+/// interpolation: on a roughly geometric ladder the rate map climbs into
+/// the top rungs much earlier in the cushion.
+inline double bba_select_rungs(const double* rungs, double top_index,
+                               const AbrConfig& config,
+                               double buffer_seconds) noexcept {
+  if (buffer_seconds <= config.reservoir_seconds) return rungs[0];
+  const double t = std::clamp(
+      (buffer_seconds - config.reservoir_seconds) / config.cushion_seconds,
+      0.0, 1.0);
+  const double top = rungs[static_cast<std::size_t>(top_index)];
+  const double rate = rungs[0] + t * (top - rungs[0]);
+  return rung_at_most(rungs, top_index, rate);
+}
+
+/// Throughput-based selection: highest rung sustainable at `target_bps`
+/// (the caller applies its safety factor to a smoothed rate estimate).
+inline double rate_select_rungs(const double* rungs, double top_index,
+                                double target_bps) noexcept {
+  return rung_at_most(rungs, top_index, target_bps);
 }
 
 /// Rung for the current playback buffer level. Free and inline so callers

@@ -41,6 +41,12 @@ std::size_t BitrateLadder::index_at_most(double value) const noexcept {
   return static_cast<std::size_t>(std::distance(rungs_.begin(), it)) - 1;
 }
 
+BitrateLadder BitrateLadder::without_top(std::size_t count) const {
+  const std::size_t keep = rungs_.size() > count ? rungs_.size() - count : 1;
+  return BitrateLadder(
+      std::vector<double>(rungs_.begin(), rungs_.begin() + keep));
+}
+
 BitrateLadder BitrateLadder::capped(double cap) const {
   std::vector<double> kept;
   for (double r : rungs_) {

@@ -42,6 +42,11 @@ class BitrateLadder {
   /// Return a copy of this ladder truncated at `cap` b/s (the treatment).
   BitrateLadder capped(double cap) const;
 
+  /// Return a copy with the top `count` rungs removed, never emptying the
+  /// ladder (the service always offers some stream). The top-rung-removal
+  /// treatment of video/policy.h.
+  BitrateLadder without_top(std::size_t count) const;
+
  private:
   std::vector<double> rungs_;
 };

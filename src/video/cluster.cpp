@@ -4,40 +4,104 @@
 #include <array>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "video/session_pool.h"
 
 namespace xp::video {
 
+namespace {
+
+void check(bool ok, const char* field, const char* requirement) {
+  if (!ok) {
+    throw std::invalid_argument(std::string("ClusterConfig: ") + field +
+                                " " + requirement);
+  }
+}
+
+bool is_probability(double p) noexcept { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+void validate(const ClusterConfig& config) {
+  check(config.days > 0.0, "days", "must be positive");
+  check(config.tick_seconds > 0.0, "tick_seconds", "must be positive");
+  const DeviceMix& d = config.devices;
+  check(d.mobile_fraction >= 0.0 && d.hd_fraction >= 0.0 &&
+            d.uhd_fraction >= 0.0,
+        "devices.{mobile,hd,uhd}_fraction", "must be non-negative");
+  check(std::fabs(d.mobile_fraction + d.hd_fraction + d.uhd_fraction -
+                  1.0) <= 1e-9,
+        "devices.{mobile,hd,uhd}_fraction", "must sum to 1");
+  check(d.mobile_ceiling > 0.0 && d.hd_ceiling > 0.0 && d.uhd_ceiling > 0.0,
+        "devices.{mobile,hd,uhd}_ceiling", "must be positive");
+  // cap_fraction parameterizes the default treatment arm only; a named
+  // treatment_policy carries its own (already-validated) parameters.
+  check(config.treatment_policy.empty() ? config.cap_fraction > 0.0 &&
+                                              config.cap_fraction <= 1.0
+                                        : true,
+        "cap_fraction", "must be in (0, 1]");
+  check(is_probability(config.treat_probability[0]), "treat_probability[0]",
+        "must be in [0, 1]");
+  check(is_probability(config.treat_probability[1]), "treat_probability[1]",
+        "must be in [0, 1]");
+  check(is_probability(config.link0_probability), "link0_probability",
+        "must be in [0, 1]");
+  check(config.spurious_rebuffer_per_hour[0] >= 0.0 &&
+            config.spurious_rebuffer_per_hour[1] >= 0.0,
+        "spurious_rebuffer_per_hour", "must be non-negative");
+}
+
 ClusterResult run_paired_links(const ClusterConfig& config) {
-  if (config.days <= 0.0 || config.tick_seconds <= 0.0) {
-    throw std::invalid_argument("run_paired_links: bad horizon/tick");
+  validate(config);
+
+  // Resolve the arm policies once, up front — unknown names throw (with
+  // the registered alternatives listed) before any simulation work. The
+  // empty defaults are the paper's arms: device-ceiling control and
+  // fractional capping at cap_fraction.
+  const TreatmentPolicy control = make_policy(
+      config.control_policy.empty() ? "control" : config.control_policy);
+  TreatmentPolicy treatment;
+  if (config.treatment_policy.empty()) {
+    // Built directly (not via the "cap/<fraction>" parser) so the exact
+    // double in cap_fraction is used, with no decimal round-trip.
+    treatment.name = "cap";
+    treatment.ladder.kind = LadderPolicy::Kind::kCapFraction;
+    treatment.ladder.cap_fraction = config.cap_fraction;
+  } else {
+    treatment = make_policy(config.treatment_policy);
   }
 
   stats::Rng rng(config.seed);
   const double horizon = config.days * 86400.0;
   const double dt = config.tick_seconds;
 
-  // Ladder cache: a session's (possibly capped) ladder is one of six —
-  // device class x treatment — built once per run, so arrivals perform no
-  // heap allocation and sessions share six hot read-only ladders.
+  // Ladder cache: a session's (possibly transformed) ladder is one of
+  // six — device class x arm policy — built once per run, so arrivals
+  // perform no heap allocation and sessions share six hot read-only
+  // ladders.
   const BitrateLadder& base = BitrateLadder::shared_standard();
   const double ceilings[3] = {config.devices.mobile_ceiling,
                               config.devices.hd_ceiling,
                               config.devices.uhd_ceiling};
   const std::array<BitrateLadder, 6> ladders = {
-      base.capped(ceilings[0]),
-      base.capped(ceilings[0] * config.cap_fraction),
-      base.capped(ceilings[1]),
-      base.capped(ceilings[1] * config.cap_fraction),
-      base.capped(ceilings[2]),
-      base.capped(ceilings[2] * config.cap_fraction),
+      control.ladder.apply(base, ceilings[0]),
+      treatment.ladder.apply(base, ceilings[0]),
+      control.ladder.apply(base, ceilings[1]),
+      treatment.ladder.apply(base, ceilings[1]),
+      control.ladder.apply(base, ceilings[2]),
+      treatment.ladder.apply(base, ceilings[2]),
   };
+
+  // Per-pool policy dispatch table: slot 0 = control, slot 1 = treatment
+  // (Arrival::policy mirrors Arrival::treated).
+  const std::vector<AbrPolicy> arm_policies = {
+      control.abr_policy(config.abr), treatment.abr_policy(config.abr)};
 
   FluidLink links[2] = {FluidLink(config.link), FluidLink(config.link)};
   DemandModel demand(config.demand);
-  SessionPool pools[2] = {SessionPool(config.session, config.abr),
-                          SessionPool(config.session, config.abr)};
+  SessionPool pools[2] = {SessionPool(config.session, arm_policies),
+                          SessionPool(config.session, arm_policies)};
 
   // Spurious (content-driven) stalls: one geometric skip-sampling stream
   // per link (substreams of the run seed, independent of the arrival
@@ -100,6 +164,7 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
       arrival.account = next_session_id;
       arrival.link = link;
       arrival.treated = treated;
+      arrival.policy = treated ? 1 : 0;
       arrival.start_time = t;
       arrival.duration = demand.draw_duration(rng);
       arrival.ladder = &ladders[device * 2 + (treated ? 1 : 0)];

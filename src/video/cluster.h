@@ -14,9 +14,12 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
 #include "video/abr.h"
 #include "video/demand.h"
 #include "video/fluid_link.h"
+#include "video/policy.h"
 #include "video/session_pool.h"
 #include "video/session_record.h"
 
@@ -39,11 +42,23 @@ struct ClusterConfig {
   SessionParams session;
   DeviceMix devices;
 
-  /// Treatment: multiply each session's bitrate ceiling by this factor
-  /// (resolution preserved, top encodes removed). 0.75 yields roughly the
-  /// ~25% traffic reduction the capping program measured, after ladder
-  /// rounding.
+  /// Canonical treatment level: multiply each session's bitrate ceiling
+  /// by this factor (resolution preserved, top encodes removed). 0.75
+  /// yields roughly the ~25% traffic reduction the capping program
+  /// measured, after ladder rounding. Only consulted when
+  /// `treatment_policy` is empty (below).
   double cap_fraction = 0.75;
+
+  /// Named treatment policies (video/policy.h): what landing in the
+  /// control or treatment arm does to an admitted session — ladder
+  /// transform + ABR strategy. Resolved once per run through the policy
+  /// registry; empty strings mean the paper's canonical arms:
+  /// control_policy -> "control" (device ceiling, hybrid ABR) and
+  /// treatment_policy -> "cap/<cap_fraction>". Any registered or
+  /// parameterized policy name ("cap/0.5", "drop_top/2", "bba", "rate")
+  /// turns the same cluster into a different experiment family.
+  std::string control_policy;
+  std::string treatment_policy;
 
   /// Per-link probability a session is assigned to treatment.
   double treat_probability[2] = {0.95, 0.05};
@@ -77,6 +92,14 @@ struct ClusterResult {
   std::vector<double> hourly_utilization[2];
   std::vector<double> hourly_rtt[2];
 };
+
+/// Validate a cluster configuration before running it. Throws
+/// std::invalid_argument naming the offending field (device fractions
+/// must sum to 1, probabilities must lie in [0, 1], cap_fraction in
+/// (0, 1], horizon/tick/rates positive) instead of silently producing a
+/// skewed world. Policy names are resolved (and thus validated) by
+/// run_paired_links itself.
+void validate(const ClusterConfig& config);
 
 /// Run the paired-link world. Deterministic in (config): the result is a
 /// pure function of (config, seed) — bit-for-bit reproducible at any

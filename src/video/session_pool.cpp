@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 namespace xp::video {
 
@@ -31,7 +33,21 @@ void StallSampler::draw_gap() noexcept {
 }
 
 SessionPool::SessionPool(const SessionParams& params, const AbrConfig& abr)
-    : params_(params), abr_(abr) {}
+    : SessionPool(params, std::vector<AbrPolicy>{AbrPolicy{
+                              AbrKind::kHybrid, abr}}) {}
+
+SessionPool::SessionPool(const SessionParams& params,
+                         std::vector<AbrPolicy> policies)
+    : params_(params), policies_(std::move(policies)) {
+  if (policies_.empty() || policies_.size() > 255) {
+    throw std::invalid_argument(
+        "SessionPool: policy table must hold 1..255 entries");
+  }
+  for (const AbrPolicy& policy : policies_) {
+    track_rate_ |= policy.kind == AbrKind::kRate;
+  }
+  rate_alpha_.assign(policies_.size(), 0.0);
+}
 
 void SessionPool::reserve(std::size_t sessions) {
   identity_.reserve(sessions);
@@ -48,6 +64,8 @@ void SessionPool::reserve(std::size_t sessions) {
   sustained_cap_.reserve(sessions);
   rungs_.reserve(sessions);
   rung_top_index_.reserve(sessions);
+  policy_.reserve(sessions);
+  ewma_rate_.reserve(sessions);
   delivered_bytes_.reserve(sessions);
   retransmitted_bytes_.reserve(sessions);
   hungry_bytes_.reserve(sessions);
@@ -72,7 +90,14 @@ std::size_t SessionPool::add(const Arrival& arrival) {
   state_.push_back(SessionState::kStartup);
   clock_.push_back(0.0);
   buffer_seconds_.push_back(0.0);
-  const double startup_bitrate = abr_startup(*arrival.ladder, abr_);
+  const AbrPolicy& policy = policies_.at(arrival.policy);
+  // Startup chunk rate is strategy-specific: BBA-proper starts at the
+  // lowest rung; the hybrid and rate strategies use the fixed
+  // throughput-informed startup rate (the pre-policy behavior).
+  const double startup_bitrate =
+      policy.kind == AbrKind::kBufferBased
+          ? arrival.ladder->lowest()
+          : abr_startup(*arrival.ladder, policy.config);
   bitrate_.push_back(startup_bitrate);
   quality_.push_back(perceptual_quality(startup_bitrate));
   startup_bytes_left_.push_back(startup_bitrate *
@@ -93,6 +118,10 @@ std::size_t SessionPool::add(const Arrival& arrival) {
   const std::span<const double> rungs = arrival.ladder->rungs();
   rungs_.push_back(rungs.data());
   rung_top_index_.push_back(static_cast<double>(rungs.size() - 1));
+  policy_.push_back(arrival.policy);
+  // Optimistic first throughput estimate: the access link, refined by the
+  // EWMA from the first downloading tick on (kRate policies only).
+  ewma_rate_.push_back(arrival.access_rate_bps);
   delivered_bytes_.push_back(0.0);
   retransmitted_bytes_.push_back(0.0);
   hungry_bytes_.push_back(0.0);
@@ -139,8 +168,28 @@ void SessionPool::gather_demand(std::vector<double>& demands,
 }
 
 void SessionPool::select_bitrate(std::size_t i) noexcept {
-  const double next = abr_select_rungs(rungs_[i], rung_top_index_[i], abr_,
-                                       buffer_seconds_[i]);
+  // Policy dispatch: one byte-indexed table load + a switch on a one-byte
+  // kind. Single-policy pools (and the default cluster, where both arms
+  // are hybrid) always take the same arm, so the branch predictor eats it.
+  const AbrPolicy& policy = policies_[policy_[i]];
+  double next;
+  switch (policy.kind) {
+    case AbrKind::kHybrid:
+      next = abr_select_rungs(rungs_[i], rung_top_index_[i], policy.config,
+                              buffer_seconds_[i]);
+      break;
+    case AbrKind::kBufferBased:
+      next = bba_select_rungs(rungs_[i], rung_top_index_[i], policy.config,
+                              buffer_seconds_[i]);
+      break;
+    case AbrKind::kRate:
+      next = rate_select_rungs(rungs_[i], rung_top_index_[i],
+                               policy.rate_safety * ewma_rate_[i]);
+      break;
+    default:
+      next = bitrate_[i];
+      break;
+  }
   if (next != bitrate_[i]) {
     ++switches_[i];
     // Close the constant-bitrate segment: the integrals advance only
@@ -166,6 +215,11 @@ void SessionPool::advance_all(double dt, std::span<const double> alloc,
   const double fixed_retx = params_.fixed_retx_bytes_per_play_second * dt;
   const double request_latency = 2.0 * rtt;
   const bool sample_stalls = stalls != nullptr && stalls->enabled();
+  if (track_rate_) {
+    for (std::size_t p = 0; p < policies_.size(); ++p) {
+      rate_alpha_[p] = dt / (policies_[p].rate_tau_seconds + dt);
+    }
+  }
 
   // One RTT sample per alive session per tick, accumulated once for the
   // whole pool (sessions diff the counters; see the header note).
@@ -214,6 +268,12 @@ void SessionPool::advance_all(double dt, std::span<const double> alloc,
       }
       hungry_bytes_[i] += wire_bytes * used_fraction;
       hungry_seconds_[i] += dt * used_fraction;
+      // Rate-based ABR input: smooth the granted rate while downloading
+      // (idle buffer-full ticks keep the last estimate, like real
+      // clients, whose throughput samples come from chunk downloads).
+      if (track_rate_) {
+        ewma_rate_[i] += rate_alpha_[policy_[i]] * (rate_bps - ewma_rate_[i]);
+      }
     }
     if (state_[i] == SessionState::kPlaying) {
       retransmitted_bytes_[i] += fixed_retx;
@@ -386,6 +446,8 @@ void SessionPool::swap_remove(std::size_t i) {
   move_back(sustained_cap_);
   move_back(rungs_);
   move_back(rung_top_index_);
+  move_back(policy_);
+  move_back(ewma_rate_);
   move_back(delivered_bytes_);
   move_back(retransmitted_bytes_);
   move_back(hungry_bytes_);

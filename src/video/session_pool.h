@@ -21,6 +21,7 @@
 
 #include "stats/rng.h"
 #include "video/abr.h"
+#include "video/policy.h"
 #include "video/session_record.h"
 
 namespace xp::video {
@@ -107,7 +108,14 @@ class StallSampler {
 
 class SessionPool {
  public:
+  /// Single-policy pool: every session runs the hybrid ABR with `abr` —
+  /// the pre-policy behavior (Session wrapper, unit tests).
   SessionPool(const SessionParams& params, const AbrConfig& abr);
+
+  /// Policy-table pool: `policies` is the dispatch table Arrival::policy
+  /// indexes into (the cluster resolves named TreatmentPolicies to one
+  /// AbrPolicy per arm). At most 255 entries; must be non-empty.
+  SessionPool(const SessionParams& params, std::vector<AbrPolicy> policies);
 
   /// Everything a new session needs. `ladder` is not owned: it must stay
   /// valid (and at a stable address) for the session's lifetime — the
@@ -122,6 +130,8 @@ class SessionPool {
     const BitrateLadder* ladder = nullptr;
     double patience = 0.0;
     double access_rate_bps = 0.0;
+    /// Index into the pool's policy table (constructor argument).
+    std::uint8_t policy = 0;
   };
 
   /// Append a session; returns its slot index (valid until a retire pass).
@@ -200,7 +210,15 @@ class SessionPool {
   void swap_remove(std::size_t i);
 
   SessionParams params_;
-  AbrConfig abr_;
+  /// Resolved policy dispatch table: per-slot `policy_` bytes index here,
+  /// and select_bitrate switches on the entry's one-byte AbrKind — no
+  /// virtual call anywhere in the tick.
+  std::vector<AbrPolicy> policies_;
+  /// True when any policy needs the per-slot throughput EWMA (kRate);
+  /// default hybrid-only pools skip that accumulation entirely.
+  bool track_rate_ = false;
+  /// Per-policy EWMA coefficient dt/(tau+dt), refreshed each advance_all.
+  std::vector<double> rate_alpha_;
 
   // Identity: only touched at add/finalize/swap, so it stays AoS.
   struct Identity {
@@ -230,6 +248,9 @@ class SessionPool {
   // BitrateLadder and its vector.
   std::vector<const double*> rungs_;
   std::vector<double> rung_top_index_;
+  std::vector<std::uint8_t> policy_;
+  /// Smoothed goodput estimate (b/s), maintained only when track_rate_.
+  std::vector<double> ewma_rate_;
 
   // Telemetry accumulators.
   std::vector<double> delivered_bytes_;

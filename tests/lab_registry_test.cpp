@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -58,7 +59,9 @@ TEST(Registry, ListsTheBuiltinScenarios) {
   for (const char* expected :
        {"dumbbell/two_connections", "dumbbell/pacing",
         "dumbbell/bbr_vs_cubic", "paired_links/experiment",
-        "paired_links/baseline"}) {
+        "paired_links/baseline", "paired_links/cap_50",
+        "paired_links/drop_top", "paired_links/abr_swap",
+        "paired_links/bba_vs_rate"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing scenario: " << expected;
   }
@@ -162,6 +165,28 @@ TEST(Pipeline, TableLookupFailsWithClearError) {
     const std::string message = e.what();
     EXPECT_NE(message.find("no such metric"), std::string::npos) << message;
     EXPECT_NE(message.find("avg throughput"), std::string::npos) << message;
+  }
+}
+
+TEST(Pipeline, PolicyScenariosRunEndToEndThroughEstimators) {
+  // The acceptance seam of the policy layer: every policy-backed scenario
+  // key runs one spec through the registry estimators unchanged, and the
+  // analysis stage yields finite headline estimates.
+  for (const char* name :
+       {"paired_links/cap_50", "paired_links/drop_top",
+        "paired_links/abr_swap", "paired_links/bba_vs_rate"}) {
+    SCOPED_TRACE(name);
+    lab::ExperimentSpec spec;
+    spec.scenario = name;
+    spec.tuning = smoke_options();
+    spec.estimators = {"naive/ab", "paired_link/tte"};
+    spec.seed = 11;
+    const auto report = lab::run_experiment(spec);
+    const auto& tte = report.estimates_for("paired_link/tte");
+    const auto& row = tte.row("video bitrate/tte");
+    ASSERT_FALSE(row.replicates.empty());
+    EXPECT_TRUE(std::isfinite(row.effect().estimate));
+    EXPECT_LE(row.effect().ci_low, row.effect().ci_high);
   }
 }
 

@@ -5,6 +5,7 @@
 // geometric stall skip-sampler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "util/runner.h"
 #include "video/cluster.h"
 #include "video/fluid_link.h"
+#include "video/policy.h"
 #include "video/session_pool.h"
 
 namespace xp {
@@ -104,10 +106,14 @@ TEST(PairedLinksRegistry, ScenariosAreBitIdenticalAcrossThreadCounts) {
   // function of (config, seed) — bit-for-bit identical at 1 vs 4 threads
   // (the RNG draw order *inside* one run is not pinned across refactors,
   // which is why these are fresh-world comparisons, not golden values).
+  // The policy-backed scenario keys ride the same contract: table
+  // dispatch must not introduce any thread-count dependence.
   util::Runner serial(1);
   util::Runner pool(4);
   for (const char* name :
-       {"paired_links/experiment", "paired_links/baseline"}) {
+       {"paired_links/experiment", "paired_links/baseline",
+        "paired_links/cap_50", "paired_links/drop_top",
+        "paired_links/abr_swap", "paired_links/bba_vs_rate"}) {
     SCOPED_TRACE(name);
     lab::ExperimentSpec spec;
     spec.scenario = name;
@@ -215,6 +221,201 @@ TEST(StallSampler, DisabledAtZeroRateAndCertainAtOne) {
 
   video::StallSampler always(1.0, 1);
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(always.step());
+}
+
+TEST(PolicyRegistry, UnknownPolicyKeyListsAlternatives) {
+  try {
+    video::make_policy("no_such_policy");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown policy"), std::string::npos) << message;
+    EXPECT_NE(message.find("no_such_policy"), std::string::npos) << message;
+    // The error lists the fixed-name policies and the parameterized
+    // families, so the fix is obvious.
+    for (const char* alternative :
+         {"control", "bba", "rate", "cap/<fraction>", "drop_top/<rungs>"}) {
+      EXPECT_NE(message.find(alternative), std::string::npos)
+          << "missing \"" << alternative << "\" in: " << message;
+    }
+  }
+}
+
+TEST(PolicyRegistry, ListsBuiltinsAndAcceptsCustomRegistration) {
+  const auto names = video::policy_names();
+  for (const char* expected : {"control", "bba", "rate"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing policy: " << expected;
+  }
+
+  video::TreatmentPolicy custom;
+  custom.name = "test_custom_cap_80";
+  custom.ladder.kind = video::LadderPolicy::Kind::kCapFraction;
+  custom.ladder.cap_fraction = 0.8;
+  video::register_policy(custom);
+  EXPECT_EQ(video::make_policy("test_custom_cap_80").ladder.cap_fraction,
+            0.8);
+  EXPECT_THROW(video::register_policy(custom), std::invalid_argument);
+  // Names shadowing a parameterized family are rejected outright.
+  custom.name = "cap/0.9";
+  EXPECT_THROW(video::register_policy(custom), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, ParameterizedFamiliesParseAndValidate) {
+  const video::TreatmentPolicy cap = video::make_policy("cap/0.5");
+  EXPECT_EQ(cap.ladder.kind, video::LadderPolicy::Kind::kCapFraction);
+  EXPECT_DOUBLE_EQ(cap.ladder.cap_fraction, 0.5);
+
+  const video::TreatmentPolicy drop = video::make_policy("drop_top/2");
+  EXPECT_EQ(drop.ladder.kind, video::LadderPolicy::Kind::kDropTop);
+  EXPECT_EQ(drop.ladder.drop_rungs, 2u);
+
+  EXPECT_THROW(video::make_policy("cap/1.5"), std::invalid_argument);
+  EXPECT_THROW(video::make_policy("cap/0"), std::invalid_argument);
+  EXPECT_THROW(video::make_policy("cap/abc"), std::invalid_argument);
+  EXPECT_THROW(video::make_policy("drop_top/0"), std::invalid_argument);
+  EXPECT_THROW(video::make_policy("drop_top/x"), std::invalid_argument);
+}
+
+TEST(PolicyLadders, TransformsMatchTheirContracts) {
+  const video::BitrateLadder& base = video::BitrateLadder::shared_standard();
+  const double ceiling = 16000e3;
+
+  // Identity reproduces the device ladder; cap/<f> reproduces the
+  // pre-policy arithmetic base.capped(ceiling * f) exactly.
+  const auto control = video::make_policy("control");
+  EXPECT_EQ(control.ladder.apply(base, ceiling).rungs().size(),
+            base.capped(ceiling).rungs().size());
+  const auto cap = video::make_policy("cap/0.5");
+  const video::BitrateLadder capped = cap.ladder.apply(base, ceiling);
+  EXPECT_DOUBLE_EQ(capped.highest(),
+                   base.capped(ceiling * 0.5).highest());
+  EXPECT_LE(capped.highest(), ceiling * 0.5);
+
+  // drop_top removes exactly k rungs and never empties the ladder.
+  const auto drop2 = video::make_policy("drop_top/2");
+  const video::BitrateLadder dropped = drop2.ladder.apply(base, ceiling);
+  EXPECT_EQ(dropped.size(), base.capped(ceiling).size() - 2);
+  EXPECT_DOUBLE_EQ(dropped.lowest(), base.lowest());
+  const auto drop_all = video::make_policy("drop_top/99");
+  EXPECT_EQ(drop_all.ladder.apply(base, ceiling).size(), 1u);
+}
+
+TEST(ClusterValidation, BadFieldsAreNamedInTheError) {
+  const auto expect_rejects = [](video::ClusterConfig config,
+                                 const char* field) {
+    try {
+      video::validate(config);
+      FAIL() << "expected rejection naming " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+
+  video::ClusterConfig bad_devices;
+  bad_devices.devices.mobile_fraction = 0.6;  // 0.6 + 0.4 + 0.2 != 1
+  expect_rejects(bad_devices, "devices");
+
+  video::ClusterConfig bad_cap;
+  bad_cap.cap_fraction = 0.0;
+  expect_rejects(bad_cap, "cap_fraction");
+  bad_cap.cap_fraction = 1.5;
+  expect_rejects(bad_cap, "cap_fraction");
+
+  video::ClusterConfig bad_treat;
+  bad_treat.treat_probability[1] = 1.2;
+  expect_rejects(bad_treat, "treat_probability[1]");
+
+  video::ClusterConfig bad_link0;
+  bad_link0.link0_probability = -0.1;
+  expect_rejects(bad_link0, "link0_probability");
+
+  video::ClusterConfig bad_horizon;
+  bad_horizon.days = 0.0;
+  expect_rejects(bad_horizon, "days");
+
+  EXPECT_NO_THROW(video::validate(video::ClusterConfig{}));
+}
+
+TEST(ClusterPolicies, UnknownPolicyNameFailsBeforeSimulating) {
+  video::ClusterConfig config;
+  config.days = 1.0;
+  config.treatment_policy = "no_such_policy";
+  EXPECT_THROW(video::run_paired_links(config), std::invalid_argument);
+}
+
+TEST(ClusterPolicies, AbrSwapWorldRunsAndDiffersFromCapping) {
+  // Same seed, two treatments: rate-based-ABR treatment vs fractional
+  // capping. Both must produce full, sane worlds, and they must differ —
+  // the policy layer actually changes the data-generating process.
+  video::ClusterConfig cap_config;
+  cap_config.days = 0.1;
+  cap_config.seed = 404;
+  const auto cap_world = video::run_paired_links(cap_config);
+
+  video::ClusterConfig swap_config = cap_config;
+  swap_config.treatment_policy = "rate";
+  const auto swap_world = video::run_paired_links(swap_config);
+
+  ASSERT_GT(cap_world.sessions.size(), 100u);
+  // Arrival/assignment draws are policy-independent, so the worlds pair.
+  ASSERT_EQ(swap_world.sessions.size(), cap_world.sessions.size());
+  for (const auto& row : swap_world.sessions) {
+    ASSERT_TRUE(all_finite(row)) << "session " << row.session_id;
+  }
+  bool any_difference = false;
+  for (std::size_t i = 0; i < cap_world.sessions.size(); ++i) {
+    any_difference |= cap_world.sessions[i].avg_bitrate_bps !=
+                      swap_world.sessions[i].avg_bitrate_bps;
+  }
+  EXPECT_TRUE(any_difference)
+      << "treatment policy had no effect on the realized world";
+}
+
+TEST(SessionPool, PolicyTableDispatchesPerSlot) {
+  // One pool, two policies: hybrid and rate-based, identical grants. The
+  // hybrid slot fills its buffer and climbs to the ladder top; the rate
+  // slot is pinned at the highest rung under safety x smoothed
+  // throughput (0.04 x 50 Mb/s = 2 Mb/s -> the 1750 kb/s rung). Same
+  // inputs, different outcomes: the per-slot table dispatch is live.
+  const video::BitrateLadder& ladder = video::BitrateLadder::shared_standard();
+  std::vector<video::AbrPolicy> policies(2);
+  policies[0].kind = video::AbrKind::kHybrid;
+  policies[1].kind = video::AbrKind::kRate;
+  policies[1].rate_safety = 0.04;
+  policies[1].rate_tau_seconds = 2.0;
+  video::SessionPool pool{video::SessionParams{}, policies};
+  for (std::uint8_t p = 0; p < 2; ++p) {
+    video::SessionPool::Arrival a;
+    a.id = p + 1;
+    a.account = p + 1;
+    a.duration = 3600.0;
+    a.ladder = &ladder;
+    a.patience = 30.0;
+    a.access_rate_bps = 50e6;
+    a.policy = p;
+    pool.add(a);
+  }
+  // Grant both slots their full 50 Mb/s access rate, long enough for
+  // full buffers and a settled EWMA.
+  std::vector<double> demands, alloc;
+  double desired = 0.0;
+  std::vector<video::SessionRecord> records;
+  std::uint64_t completed = 0;
+  for (int tick = 0; tick < 240; ++tick) {
+    pool.gather_demand(demands, desired);
+    alloc.assign(pool.size(), 50e6);
+    pool.advance_all(1.0, alloc, 0.03, 0.0);
+    pool.retire_finished(records, completed);
+  }
+  ASSERT_EQ(pool.size(), 2u);
+  // Hybrid: the buffer hovers one playback tick under its ceiling (fill,
+  // clamp, play dt), which maps to the second-highest rung.
+  EXPECT_DOUBLE_EQ(pool.current_bitrate(0), 11600e3);
+  EXPECT_GT(pool.buffer_seconds(0), 50.0);
+  // Rate-based: highest rung <= 0.04 x 50 Mb/s = 2 Mb/s -> 1750 kb/s.
+  EXPECT_DOUBLE_EQ(pool.current_bitrate(1), 1750e3);
 }
 
 TEST(SessionPool, SlotRecyclingPreservesSurvivorState) {

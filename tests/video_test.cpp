@@ -1,4 +1,5 @@
-// Video substrate: ladders, ABR, fluid link, demand, session state machine.
+// Video substrate: ladders, ABR strategies, fluid link, demand, session
+// state machine.
 #include <gtest/gtest.h>
 
 #include "stats/rng.h"
@@ -78,6 +79,47 @@ TEST(Abr, CappedLadderNeverExceedsCap) {
   for (double buffer = 0.0; buffer <= 100.0; buffer += 5.0) {
     EXPECT_LE(abr.select(buffer), 3000e3);
   }
+}
+
+TEST(Abr, RungAtMostFloorsAndCeils) {
+  const auto ladder = BitrateLadder::standard();
+  const double* rungs = ladder.rungs().data();
+  const double top = static_cast<double>(ladder.size() - 1);
+  EXPECT_DOUBLE_EQ(rung_at_most(rungs, top, 100e3), 235e3);  // floor rung
+  EXPECT_DOUBLE_EQ(rung_at_most(rungs, top, 3100e3), 3000e3);
+  EXPECT_DOUBLE_EQ(rung_at_most(rungs, top, 3000e3), 3000e3);  // exact hit
+  EXPECT_DOUBLE_EQ(rung_at_most(rungs, top, 1e9), 16000e3);
+}
+
+TEST(Abr, BbaSelectIsMonotoneAndRateLinear) {
+  const auto ladder = BitrateLadder::standard();
+  const double* rungs = ladder.rungs().data();
+  const double top = static_cast<double>(ladder.size() - 1);
+  const AbrConfig config;
+  // Reservoir and full-cushion endpoints match the hybrid map...
+  EXPECT_DOUBLE_EQ(bba_select_rungs(rungs, top, config, 5.0), 235e3);
+  EXPECT_DOUBLE_EQ(bba_select_rungs(rungs, top, config, 60.0), 16000e3);
+  // ...but mid-cushion BBA maps linearly in *rate*: on the roughly
+  // geometric ladder that sits well above the index interpolation
+  // (half the rate range lands among the top rungs).
+  const double mid_bba = bba_select_rungs(rungs, top, config, 35.0);
+  const double mid_hybrid = abr_select_rungs(rungs, top, config, 35.0);
+  EXPECT_GT(mid_bba, mid_hybrid);
+  double prev = 0.0;
+  for (double buffer = 0.0; buffer <= 70.0; buffer += 2.0) {
+    const double rate = bba_select_rungs(rungs, top, config, buffer);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Abr, RateSelectTracksThroughput) {
+  const auto ladder = BitrateLadder::standard();
+  const double* rungs = ladder.rungs().data();
+  const double top = static_cast<double>(ladder.size() - 1);
+  EXPECT_DOUBLE_EQ(rate_select_rungs(rungs, top, 0.0), 235e3);
+  EXPECT_DOUBLE_EQ(rate_select_rungs(rungs, top, 2e6), 1750e3);
+  EXPECT_DOUBLE_EQ(rate_select_rungs(rungs, top, 50e6), 16000e3);
 }
 
 TEST(MaxMinFair, EqualSplitWhenOversubscribed) {
