@@ -1,6 +1,7 @@
 #include "core/analysis.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 
@@ -18,6 +19,7 @@ std::vector<HourlyCell> aggregate_hourly(std::span<const Observation> rows) {
   };
   std::map<std::pair<std::uint64_t, bool>, Agg> cells;
   for (const Observation& row : rows) {
+    if (!std::isfinite(row.outcome)) continue;  // corrupted telemetry
     Agg& cell = cells[{row.hour_index, row.treated}];
     cell.sum += row.outcome;
     cell.n += 1;
@@ -100,6 +102,7 @@ EffectEstimate account_level_analysis(std::span<const Observation> rows,
   std::map<std::uint64_t, std::pair<double, std::size_t>> treated_accounts;
   std::map<std::uint64_t, std::pair<double, std::size_t>> control_accounts;
   for (const Observation& row : rows) {
+    if (!std::isfinite(row.outcome)) continue;  // corrupted telemetry
     auto& bucket = row.treated ? treated_accounts : control_accounts;
     auto& [sum, n] = bucket[row.account];
     sum += row.outcome;
@@ -137,7 +140,7 @@ double arm_mean(std::span<const Observation> rows, bool treated) {
   double sum = 0.0;
   std::size_t n = 0;
   for (const Observation& row : rows) {
-    if (row.treated == treated) {
+    if (row.treated == treated && std::isfinite(row.outcome)) {
       sum += row.outcome;
       ++n;
     }
@@ -147,8 +150,14 @@ double arm_mean(std::span<const Observation> rows, bool treated) {
 
 double overall_mean(std::span<const Observation> rows) {
   double sum = 0.0;
-  for (const Observation& row : rows) sum += row.outcome;
-  return rows.empty() ? 0.0 : sum / static_cast<double>(rows.size());
+  std::size_t n = 0;
+  for (const Observation& row : rows) {
+    if (std::isfinite(row.outcome)) {
+      sum += row.outcome;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 }  // namespace xp::core

@@ -13,6 +13,12 @@
 // 2. Account-level difference in means (Welch): the standard way naive
 //    A/B tests are read out, with much tighter intervals (Figure 13
 //    contrasts the two).
+//
+// Both pipelines (and the mean helpers below) silently skip rows whose
+// outcome is non-finite: corrupted telemetry (video::TelemetryFault NaNs
+// a record's network fields) degrades the sample size, not the estimate.
+// A column that is *entirely* non-finite leaves nothing to aggregate and
+// fails the downstream row guards into a null estimate.
 #pragma once
 
 #include <span>

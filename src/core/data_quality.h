@@ -1,0 +1,86 @@
+// Data-quality guardrails: the checks a trustworthy pipeline runs on a
+// dataset *before* believing any estimate computed from it.
+//
+// Production experimentation platforms validate every cell's data — row
+// counts, missingness, and above all the sample-ratio-mismatch (SRM)
+// check: does the realized treated fraction match the allocation the
+// design intended? A failed SRM is the classic symptom of broken
+// assignment or lossy, non-random telemetry collection, and it
+// invalidates the cell no matter how clean the point estimates look.
+// assess_quality() computes one DataQualityReport per ObservationTable;
+// the pipeline (lab/experiment.h) attaches it to every ExperimentCell,
+// and the "guardrail/srm" estimator surfaces the check as first-class
+// estimate rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/observation_table.h"
+
+namespace xp::core {
+
+struct DataQualityOptions {
+  /// SRM flag threshold: the check is a tripwire, not an estimate, so the
+  /// conventional cutoff is far below 0.05 (large cells make the test
+  /// extremely sensitive; platforms use 1e-3 or stricter).
+  double srm_p_threshold = 1e-3;
+  /// A table with fewer unit rows than this is unusable outright.
+  std::size_t min_rows = 1;
+};
+
+/// Per-metric-column tallies.
+struct MetricQuality {
+  std::string metric;
+  std::size_t rows = 0;
+  std::size_t non_finite = 0;  ///< NaN/inf outcomes (corrupted telemetry)
+};
+
+struct DataQualityReport {
+  bool computed = false;  ///< false on default-constructed reports
+
+  // --- Volume ---
+  std::size_t rows = 0;  ///< unit rows (first metric column)
+  std::size_t treated_rows = 0;
+  std::size_t control_rows = 0;
+  std::size_t hours_observed = 0;   ///< distinct absolute hours
+  std::size_t arm_hour_cells = 0;   ///< distinct (hour, arm) cells
+  std::size_t non_finite_outcomes = 0;  ///< summed across metric columns
+  std::vector<MetricQuality> metrics;
+
+  // --- Sample-ratio mismatch ---
+  double intended_treated_fraction = 0.0;
+  double observed_treated_fraction = 0.0;
+  double srm_chi_square = 0.0;
+  double srm_p_value = 1.0;
+  bool srm_flag = false;  ///< srm_p_value < options.srm_p_threshold
+
+  /// Human-readable findings ("no rows", "sample-ratio mismatch ...");
+  /// empty when the table passed every check.
+  std::vector<std::string> issues;
+
+  bool ok() const noexcept { return computed && issues.empty(); }
+
+  /// True when the table cannot support *any* estimate: no unit rows, or
+  /// every outcome in every metric column is non-finite. (An SRM flag
+  /// does NOT make a table unusable — the estimates still compute; they
+  /// just should not be believed, which is what the flag says.)
+  bool unusable() const noexcept {
+    return computed &&
+           (rows == 0 || (non_finite_outcomes > 0 && metrics.size() > 0 &&
+                          non_finite_outcomes == rows * metrics.size()));
+  }
+
+  /// All issues joined with "; " ("" when clean).
+  std::string summary() const;
+};
+
+/// Assess one observation table against the allocation the design
+/// intended. Pure and free of randomness: the same table and fraction
+/// always produce the same report.
+DataQualityReport assess_quality(const ObservationTable& table,
+                                 double intended_treated_fraction,
+                                 const DataQualityOptions& options = {});
+
+}  // namespace xp::core

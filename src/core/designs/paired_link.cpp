@@ -1,5 +1,7 @@
 #include "core/designs/paired_link.h"
 
+#include <cmath>
+
 namespace xp::core {
 
 PairedLinkReport analyze_paired_link(std::span<const Observation> rows,
@@ -18,7 +20,7 @@ PairedLinkReport analyze_paired_link(std::span<const Observation> rows,
       double sum = 0.0;
       std::size_t n = 0;
       for (const Observation& row : rows) {
-        if (matches(row, filter)) {
+        if (matches(row, filter) && std::isfinite(row.outcome)) {
           sum += row.outcome;
           ++n;
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -10,11 +11,13 @@
 #include <utility>
 
 #include "util/string_registry.h"
+#include "core/data_quality.h"
 #include "core/designs/event_study.h"
 #include "core/designs/paired_link.h"
 #include "core/designs/switchback.h"
 #include "core/quantile_effects.h"
 #include "core/session_metrics.h"
+#include "stats/distributions.h"
 #include "stats/rng.h"
 #include "stats/ttest.h"
 
@@ -65,15 +68,19 @@ bool accounts_ok(Rows rows) {
   return false;
 }
 
-/// Run `analyze` with the degenerate-input contract: a failed guard or a
-/// numerical failure (singular design, too few cells) becomes a null
-/// estimate. Guards catch the common cases cheaply; the catch is the
-/// backstop for pathological-but-deterministic inputs.
+/// Run `analyze` with the degenerate-input contract: a failed guard, a
+/// numerical failure (singular design, too few cells), or a non-finite
+/// result (an all-NaN metric column from corrupted telemetry) becomes a
+/// null estimate. Guards catch the common cases cheaply; the catch and
+/// the finiteness check are the backstop for
+/// pathological-but-deterministic inputs.
 template <typename Guard, typename Analyze>
 EffectEstimate guarded(const Guard& guard, const Analyze& analyze) {
   if (!guard()) return EffectEstimate{};
   try {
-    return analyze();
+    const EffectEstimate estimate = analyze();
+    if (!std::isfinite(estimate.estimate)) return EffectEstimate{};
+    return estimate;
   } catch (const std::exception&) {
     return EffectEstimate{};
   }
@@ -96,7 +103,7 @@ double paired_baseline(Rows rows) {
   double sum = 0.0;
   std::size_t n = 0;
   for (const Observation& row : rows) {
-    if (row.group == 1 && !row.treated) {
+    if (row.group == 1 && !row.treated && std::isfinite(row.outcome)) {
       sum += row.outcome;
       ++n;
     }
@@ -128,9 +135,28 @@ std::string allocation_suffix(const ExperimentReport& report,
   return allocation_label(report.allocations[allocation_index]);
 }
 
+/// Rows of one cell's metric column — empty for cells that are not OK
+/// (failed, skipped, or quality-held worlds have no usable table), which
+/// flows through every row guard as "too thin" and yields a null
+/// estimate for that replicate without touching the survivors.
 Rows metric_column(const ExperimentReport& report, std::size_t a,
                    std::size_t r, std::string_view metric) {
-  return report.cell(a, r).table.column(metric);
+  const ExperimentCell& cell = report.cell(a, r);
+  if (!cell.status.ok()) return {};
+  return cell.table.column(metric);
+}
+
+/// The first usable replicate's rows of an allocation — the anchor for
+/// data-shape detection (paired vs single-group). Anchoring on the first
+/// *usable* replicate rather than replicate 0 keeps row labels (and thus
+/// the surviving estimates) identical whether or not replicate 0 failed.
+Rows first_usable_rows(const ExperimentReport& report, std::size_t a,
+                       std::string_view metric) {
+  for (std::size_t r = 0; r < report.replicates; ++r) {
+    const Rows rows = metric_column(report, a, r, metric);
+    if (!rows.empty()) return rows;
+  }
+  return {};
 }
 
 /// True when any replicate world of allocation `a` has a treated row.
@@ -167,16 +193,41 @@ EstimateRow replicate_row(const ExperimentReport& report, std::size_t a,
 
 // --------------------------------------------------------------- adapters ----
 
+/// Shared front door of every built-in estimator: a metric absent from
+/// the report's tables is a caller error and throws (naming the available
+/// metric columns, the registry convention), while a report with no OK
+/// cell at all degrades to zero rows — there is no data to name rows
+/// after, let alone analyze. Subclasses implement rows() and see only
+/// metrics that exist.
+class BuiltinEstimator : public Estimator {
+ public:
+  std::vector<EstimateRow> estimate_metric(
+      const ExperimentReport& report, std::string_view metric,
+      const EstimatorOptions& options) const final {
+    const ExperimentCell* first_ok = report.first_ok_cell();
+    if (first_ok == nullptr) return {};
+    // Throws std::invalid_argument listing the available metric columns
+    // on a miss — never a silent null row for a misspelled metric.
+    (void)first_ok->table.column(metric);
+    return rows(report, metric, options);
+  }
+
+ private:
+  virtual std::vector<EstimateRow> rows(
+      const ExperimentReport& report, std::string_view metric,
+      const EstimatorOptions& options) const = 0;
+};
+
 /// naive/ab — the read every practitioner starts with: account-level
 /// Welch within each arm's own link. On paired data, one row per link
 /// (tau(link1) is the mostly-treated read, tau(link2) the mostly-control
 /// one), both normalized by the global control cell; on single-group
 /// data, one pooled "tau" row.
-class NaiveAbEstimator final : public Estimator {
+class NaiveAbEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override { return "naive/ab"; }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     std::vector<EstimateRow> out;
@@ -185,7 +236,7 @@ class NaiveAbEstimator final : public Estimator {
       // contrast to read — skip it instead of emitting null rows.
       if (!any_treated(report, a, metric)) continue;
       const std::string suffix = allocation_suffix(report, a);
-      if (two_groups(metric_column(report, a, 0, metric))) {
+      if (two_groups(first_usable_rows(report, a, metric))) {
         for (int link = 0; link < 2; ++link) {
           out.push_back(replicate_row(
               report, a, metric,
@@ -224,13 +275,13 @@ class NaiveAbEstimator final : public Estimator {
 /// metric: "tte" through the conservative hourly FE + Newey-West
 /// pipeline (the paper's default) and "tte(account)" through the
 /// account-level Welch read — the Figure 13 aggregation comparison.
-class PairedLinkTteEstimator final : public Estimator {
+class PairedLinkTteEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override {
     return "paired_link/tte";
   }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     std::vector<EstimateRow> out;
@@ -265,13 +316,13 @@ class PairedLinkTteEstimator final : public Estimator {
 
 /// paired_link/spillover — s(p): control units on the mostly-treated
 /// link vs control units on the mostly-control link, hourly FE pipeline.
-class PairedLinkSpilloverEstimator final : public Estimator {
+class PairedLinkSpilloverEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override {
     return "paired_link/spillover";
   }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     std::vector<EstimateRow> out;
@@ -301,13 +352,13 @@ class PairedLinkSpilloverEstimator final : public Estimator {
 /// daily intervals (days 1, 3, 5... treated) over however many days the
 /// data covers, analyzed with the hourly FE pipeline. Normalized by the
 /// paired global control cell when the data is paired.
-class SwitchbackTteEstimator final : public Estimator {
+class SwitchbackTteEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override {
     return "switchback/tte";
   }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     std::vector<EstimateRow> out;
@@ -339,13 +390,13 @@ class SwitchbackTteEstimator final : public Estimator {
 /// link data before the mid-horizon switch day, treated link data after,
 /// hourly FE pipeline. The design the paper shows to be seasonally
 /// biased.
-class EventStudyTteEstimator final : public Estimator {
+class EventStudyTteEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override {
     return "event_study/tte";
   }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     std::vector<EstimateRow> out;
@@ -376,13 +427,13 @@ class EventStudyTteEstimator final : public Estimator {
 /// lowest-allocation control world, and the cross-allocation TTE
 /// (treated at the highest allocation vs control at the lowest). All
 /// Welch on raw outcomes, matching run_gradual_deployment.
-class GradualContrastEstimator final : public Estimator {
+class GradualContrastEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override {
     return "gradual/contrast";
   }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     if (report.allocations.empty()) return {};
@@ -399,7 +450,9 @@ class GradualContrastEstimator final : public Estimator {
                                   bool treated) {
       std::vector<double> out;
       for (const Observation& row : metric_column(report, a, r, metric)) {
-        if (row.treated == treated) out.push_back(row.outcome);
+        if (row.treated == treated && std::isfinite(row.outcome)) {
+          out.push_back(row.outcome);
+        }
       }
       return out;
     };
@@ -473,13 +526,13 @@ class GradualContrastEstimator final : public Estimator {
 /// labeled. Bootstrap streams are derived from EstimatorOptions::seed
 /// per (replicate, rung), so the ladder is reproducible at any thread
 /// count.
-class QuantileLadderEstimator final : public Estimator {
+class QuantileLadderEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override {
     return "quantile/ladder";
   }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     static constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
@@ -488,7 +541,7 @@ class QuantileLadderEstimator final : public Estimator {
     std::vector<EstimateRow> out;
     for (std::size_t a = 0; a < report.allocations.size(); ++a) {
       const std::string suffix = allocation_suffix(report, a);
-      const bool paired = two_groups(metric_column(report, a, 0, metric));
+      const bool paired = two_groups(first_usable_rows(report, a, metric));
 
       // One ladder per replicate, transposed into one row per rung.
       std::vector<EstimateRow> rung_rows(std::size(kQuantiles));
@@ -501,9 +554,15 @@ class QuantileLadderEstimator final : public Estimator {
       }
       for (std::size_t r = 0; r < report.replicates; ++r) {
         const Rows rows = metric_column(report, a, r, metric);
-        const std::vector<Observation> contrast =
+        std::vector<Observation> contrast =
             paired ? tte_contrast(rows)
                    : std::vector<Observation>(rows.begin(), rows.end());
+        // Quantiles have no aggregation step to hide behind: drop
+        // corrupted (non-finite) outcomes here, like the regression
+        // pipelines do in aggregate_hourly.
+        std::erase_if(contrast, [](const Observation& row) {
+          return !std::isfinite(row.outcome);
+        });
         QuantileEffectOptions ladder_options;
         ladder_options.confidence_level = options.analysis.confidence_level;
         ladder_options.bootstrap_replicates =
@@ -522,7 +581,11 @@ class QuantileLadderEstimator final : public Estimator {
           }
         }
         for (std::size_t q = 0; q < std::size(kQuantiles); ++q) {
-          rung_rows[q].replicates.push_back(ladder[q].effect);
+          // Same finiteness backstop as guarded(): an all-NaN column
+          // yields NaN quantiles without throwing, which must null out.
+          const EffectEstimate& effect = ladder[q].effect;
+          rung_rows[q].replicates.push_back(
+              std::isfinite(effect.estimate) ? effect : EffectEstimate{});
         }
       }
       for (EstimateRow& row : rung_rows) out.push_back(std::move(row));
@@ -536,17 +599,17 @@ class QuantileLadderEstimator final : public Estimator {
 /// link 2 through the hourly FE pipeline — significant rows are
 /// pre-existing imbalances); on single-group data, the as-labeled
 /// account-level difference. Either way the expected answer is "null".
-class AaNullEstimator final : public Estimator {
+class AaNullEstimator final : public BuiltinEstimator {
  public:
   std::string_view name() const noexcept override { return "aa/null"; }
 
-  std::vector<EstimateRow> estimate_metric(
+  std::vector<EstimateRow> rows(
       const ExperimentReport& report, std::string_view metric,
       const EstimatorOptions& options) const override {
     std::vector<EstimateRow> out;
     for (std::size_t a = 0; a < report.allocations.size(); ++a) {
       const std::string suffix = allocation_suffix(report, a);
-      if (two_groups(metric_column(report, a, 0, metric))) {
+      if (two_groups(first_usable_rows(report, a, metric))) {
         out.push_back(replicate_row(
             report, a, metric, "link_diff" + suffix,
             Estimand::kAverageTreatmentEffect, [&](std::size_t r) {
@@ -579,6 +642,54 @@ class AaNullEstimator final : public Estimator {
   }
 };
 
+/// guardrail/srm — the sample-ratio-mismatch check as first-class
+/// estimate rows, one per allocation: estimate = observed - intended
+/// treated fraction, p-value from the 1-df chi-square, significant iff
+/// the guardrail tripped. On healthy worlds every row is null-ish
+/// (p ~ 1); a significant row means the cell's assignment or telemetry
+/// is broken and its other estimates should not be believed. Reads the
+/// DataQualityReport the pipeline attached to each cell, recomputing
+/// against the raw allocation for hand-built reports that never ran
+/// through run_experiment.
+class SrmGuardrailEstimator final : public BuiltinEstimator {
+ public:
+  std::string_view name() const noexcept override { return "guardrail/srm"; }
+
+  std::vector<EstimateRow> rows(
+      const ExperimentReport& report, std::string_view metric,
+      const EstimatorOptions& options) const override {
+    std::vector<EstimateRow> out;
+    for (std::size_t a = 0; a < report.allocations.size(); ++a) {
+      out.push_back(replicate_row(
+          report, a, metric, "srm" + allocation_suffix(report, a),
+          Estimand::kAverageTreatmentEffect, [&](std::size_t r) {
+            const ExperimentCell& cell = report.cell(a, r);
+            if (!cell.status.ok()) return EffectEstimate{};
+            const DataQualityReport quality =
+                cell.quality.computed
+                    ? cell.quality
+                    : assess_quality(cell.table, cell.allocation);
+            if (quality.rows == 0) return EffectEstimate{};
+            const double f = quality.intended_treated_fraction;
+            const auto n = static_cast<double>(quality.rows);
+            EffectEstimate estimate;
+            estimate.estimate =
+                quality.observed_treated_fraction - f;
+            estimate.baseline = f;
+            estimate.std_error = std::sqrt(std::max(0.0, f * (1.0 - f)) / n);
+            const double z = stats::normal_inv(
+                0.5 + options.analysis.confidence_level / 2.0);
+            estimate.ci_low = estimate.estimate - z * estimate.std_error;
+            estimate.ci_high = estimate.estimate + z * estimate.std_error;
+            estimate.p_value = quality.srm_p_value;
+            estimate.significant = quality.srm_flag;
+            return estimate;
+          }));
+    }
+    return out;
+  }
+};
+
 // --------------------------------------------------------------- registry ----
 
 void install_builtins(std::map<std::string, EstimatorFactory>& reg) {
@@ -601,6 +712,8 @@ void install_builtins(std::map<std::string, EstimatorFactory>& reg) {
   add("quantile/ladder",
       [] { return std::make_unique<QuantileLadderEstimator>(); });
   add("aa/null", [] { return std::make_unique<AaNullEstimator>(); });
+  add("guardrail/srm",
+      [] { return std::make_unique<SrmGuardrailEstimator>(); });
 }
 
 util::StringRegistry<EstimatorFactory>& registry() {
@@ -615,8 +728,12 @@ EstimateTable Estimator::estimate(const ExperimentReport& report,
                                   const EstimatorOptions& options) const {
   EstimateTable table;
   table.estimator = std::string(name());
-  if (report.cells.empty()) return table;
-  const std::vector<std::string>& metrics = report.cells.front().table.metrics;
+  // Metric names anchor on the first OK cell — the same anchor the
+  // parallel pipeline uses, so serial and fanned-out analysis agree even
+  // on partially-failed reports (no OK cell -> an empty named table).
+  const ExperimentCell* first_ok = report.first_ok_cell();
+  if (first_ok == nullptr) return table;
+  const std::vector<std::string>& metrics = first_ok->table.metrics;
   for (std::size_t m = 0; m < metrics.size(); ++m) {
     EstimatorOptions metric_options = options;
     metric_options.seed = metric_seed(options.seed, m);

@@ -16,6 +16,9 @@
 //                         and spillover plus the cross-allocation TTE
 //   quantile/ladder       p50/p90/p99 quantile treatment effects
 //   aa/null               A/A null check (link-similarity difference)
+//   guardrail/srm         sample-ratio-mismatch guardrail: observed vs
+//                         intended treated fraction per cell; significant
+//                         rows mean the cell's data cannot be trusted
 //
 // Implementations must be stateless after construction: estimate_metric
 // is called concurrently from pipeline threads, and any randomness (e.g.
@@ -24,11 +27,15 @@
 // identical at any thread count.
 //
 // Degenerate inputs (a missing arm, too few hourly cells or accounts for
-// the underlying analysis) produce null rows — default EffectEstimates
-// with p = 1 and significant = false — rather than throwing: the
-// pipeline's job is to survey every requested estimator over every
-// metric, and one unanswerable (estimator, metric) pair must not destroy
-// the rest of the report.
+// the underlying analysis, all-NaN outcomes, failed/skipped/quality-held
+// cells) produce null rows — default EffectEstimates with p = 1 and
+// significant = false — rather than throwing: the pipeline's job is to
+// survey every requested estimator over every metric, and one
+// unanswerable (estimator, metric) pair must not destroy the rest of the
+// report. A *misspelled metric* is different: requesting a metric the
+// report's tables do not carry throws std::invalid_argument listing the
+// available metric columns (the registry convention), never a silent
+// null row.
 #pragma once
 
 #include <cstdint>

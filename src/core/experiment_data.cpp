@@ -20,6 +20,37 @@ const ExperimentCell& ExperimentReport::cell(std::size_t allocation_index,
   return cells[allocation_index * replicates + replicate];
 }
 
+const ExperimentCell* ExperimentReport::first_ok_cell() const noexcept {
+  for (const ExperimentCell& cell : cells) {
+    if (cell.status.ok()) return &cell;
+  }
+  return nullptr;
+}
+
+CompletionManifest ExperimentReport::manifest() const noexcept {
+  CompletionManifest manifest;
+  manifest.cells = cells.size();
+  for (const ExperimentCell& cell : cells) {
+    manifest.attempts += cell.status.attempts;
+    switch (cell.status.state) {
+      case CellState::kOk:
+        ++manifest.ok;
+        if (cell.quality.srm_flag) ++manifest.srm_flagged;
+        break;
+      case CellState::kFailed:
+        ++manifest.failed;
+        break;
+      case CellState::kSkipped:
+        ++manifest.skipped;
+        break;
+      case CellState::kQualityHold:
+        ++manifest.quality_hold;
+        break;
+    }
+  }
+  return manifest;
+}
+
 bool ExperimentReport::has_estimates(
     std::string_view estimator) const noexcept {
   for (const EstimateTable& table : estimates) {

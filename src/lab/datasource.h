@@ -44,6 +44,16 @@ class DataSource {
   /// Simulate one world with fraction `allocation` of units treated.
   virtual ObservationTable run(double allocation,
                                std::uint64_t seed) const = 0;
+
+  /// The fraction of units the design *intends* to treat when run at
+  /// `allocation` — the null hypothesis of the sample-ratio-mismatch
+  /// guardrail (core/data_quality.h). Defaults to the allocation itself;
+  /// sources whose assignment mechanism is indirect (per-link Bernoulli
+  /// routing, integer rounding) override it so a healthy world is never
+  /// flagged.
+  virtual double intended_treated_fraction(double allocation) const noexcept {
+    return allocation;
+  }
 };
 
 }  // namespace xp::lab

@@ -1,12 +1,96 @@
 #include "lab/experiment.h"
 
+#include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "core/data_quality.h"
 #include "stats/rng.h"
 
 namespace xp::lab {
+
+namespace {
+
+void check(bool ok, const std::string& field, const std::string& requirement) {
+  if (!ok) {
+    throw std::invalid_argument("ExperimentSpec: " + field + " " +
+                                requirement);
+  }
+}
+
+/// Run one cell's simulation under the failure policy. Writes the table,
+/// status (state, error, attempts), and the seed actually used; rethrows
+/// only in fail-fast mode (the Runner collects the first exception and
+/// rethrows it after every other index has run).
+void run_cell(core::ExperimentCell& cell, const DataSource& source,
+              std::uint64_t base_seed, const FailurePolicy& policy) {
+  const std::uint32_t max_attempts =
+      policy.mode == FailurePolicy::Mode::kRetry ? policy.max_attempts : 1;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // Attempt 0 keeps the canonical cell seed (a clean first run is
+    // bit-identical under every policy); retries draw fresh deterministic
+    // substreams of it, so a re-run sweep retries identically too.
+    cell.seed =
+        attempt == 0 ? base_seed : stats::substream_seed(base_seed, attempt);
+    cell.status.attempts = attempt + 1;
+    try {
+      cell.table = source.run(cell.allocation, cell.seed);
+      cell.status.state = core::CellState::kOk;
+      cell.status.error.clear();
+      return;
+    } catch (const std::exception& e) {
+      cell.status.error = e.what();
+    }
+  }
+  switch (policy.mode) {
+    case FailurePolicy::Mode::kFailFast:
+      throw std::runtime_error("cell (allocation " +
+                               std::to_string(cell.allocation) +
+                               ", replicate " +
+                               std::to_string(cell.replicate) +
+                               ") failed: " + cell.status.error);
+    case FailurePolicy::Mode::kSkip:
+      cell.status.state = core::CellState::kSkipped;
+      break;
+    case FailurePolicy::Mode::kRetry:
+      cell.status.state = core::CellState::kFailed;
+      break;
+  }
+  cell.table = ObservationTable{};
+}
+
+}  // namespace
+
+void validate(const ExperimentSpec& spec) {
+  check(!spec.scenario.empty(), "scenario", "must name a registered scenario");
+  check(spec.replicates > 0, "replicates", "must be positive");
+  check(!spec.allocations.empty(), "allocations",
+        "must contain at least one sweep point");
+  for (std::size_t i = 0; i < spec.allocations.size(); ++i) {
+    const double p = spec.allocations[i];
+    const std::string field = "allocations[" + std::to_string(i) + "]";
+    check(std::isfinite(p) && p >= 0.0 && p <= 1.0, field,
+          "must be a finite treatment fraction in [0, 1]");
+    for (std::size_t j = 0; j < i; ++j) {
+      check(spec.allocations[j] != p, field,
+            "duplicates allocations[" + std::to_string(j) +
+                "] (estimate rows are keyed by allocation)");
+    }
+  }
+  for (std::size_t i = 0; i < spec.estimators.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      check(spec.estimators[j] != spec.estimators[i],
+            "estimators[" + std::to_string(i) + "]",
+            "duplicates estimators[" + std::to_string(j) + "] (\"" +
+                spec.estimators[i] + "\")");
+    }
+  }
+  check(spec.on_failure.mode != FailurePolicy::Mode::kRetry ||
+            spec.on_failure.max_attempts >= 1,
+        "on_failure.max_attempts", "must be >= 1 under retry");
+}
 
 std::uint64_t cell_seed(std::uint64_t base, std::size_t index) noexcept {
   return stats::substream_seed(base, index);
@@ -25,9 +109,6 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
 
 ExperimentReport run_experiment(const ExperimentSpec& spec,
                                 util::Runner& runner) {
-  if (spec.replicates == 0) {
-    throw std::invalid_argument("run_experiment: replicates == 0");
-  }
   const std::unique_ptr<DataSource> source =
       make_scenario(spec.scenario, spec.tuning);
   // Resolve every estimator key up front: an unknown key throws (listing
@@ -44,27 +125,49 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
   if (report.allocations.empty()) {
     report.allocations.push_back(source->default_allocation());
   }
+  // Validate with the allocation list resolved, so a spec that leans on
+  // the source's default allocation stays legal while validate() itself
+  // can insist on a non-empty sweep.
+  {
+    ExperimentSpec resolved = spec;
+    resolved.allocations = report.allocations;
+    validate(resolved);
+  }
   report.replicates = spec.replicates;
   report.cells.resize(report.allocations.size() * report.replicates);
 
   // Cells are independent worlds with index-derived seeds written into
   // index-addressed slots: bit-for-bit identical at any thread count.
+  // Failures are isolated per cell under spec.on_failure, and every OK
+  // cell's table passes through the data-quality guardrails.
   runner.parallel_for(report.cells.size(), [&](std::size_t i) {
     ExperimentCell& cell = report.cells[i];
     cell.allocation = report.allocations[i / report.replicates];
     cell.replicate = i % report.replicates;
-    cell.seed = cell_seed(spec.seed, i);
-    cell.table = source->run(cell.allocation, cell.seed);
+    run_cell(cell, *source, cell_seed(spec.seed, i), spec.on_failure);
+    if (cell.status.ok()) {
+      cell.quality = core::assess_quality(
+          cell.table, source->intended_treated_fraction(cell.allocation),
+          spec.quality);
+      if (cell.quality.unusable()) {
+        cell.status.state = core::CellState::kQualityHold;
+        cell.status.error = cell.quality.summary();
+      }
+    }
   });
 
   // Analysis stage: fan (estimator, metric) jobs across the runner. Each
   // job's substream derives from its (estimator, metric) indices — not
   // from scheduling order — and rows land in index-addressed slots, so
   // the estimates are bit-for-bit identical at any thread count and
-  // match a serial Estimator::estimate over the same report.
-  if (!estimators.empty() && !report.cells.empty()) {
-    const std::vector<std::string>& metrics =
-        report.cells.front().table.metrics;
+  // match a serial Estimator::estimate over the same report. Metric
+  // names anchor on the first OK cell so a failed replicate 0 does not
+  // silence the analysis; with no OK cells at all, the report still
+  // carries one (empty) named table per requested estimator.
+  if (!estimators.empty()) {
+    const core::ExperimentCell* first_ok = report.first_ok_cell();
+    const std::vector<std::string> metrics =
+        first_ok ? first_ok->table.metrics : std::vector<std::string>{};
     const std::size_t num_metrics = metrics.size();
     std::vector<std::vector<core::EstimateRow>> slots(estimators.size() *
                                                       num_metrics);

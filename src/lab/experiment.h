@@ -28,6 +28,35 @@ namespace xp::lab {
 using ExperimentCell = core::ExperimentCell;
 using ExperimentReport = core::ExperimentReport;
 
+/// What the pipeline does when a cell's simulation throws.
+///
+///   fail_fast — rethrow after the sweep finishes (every other cell still
+///               runs; the default, and the pre-existing behaviour).
+///   skip      — mark the cell CellState::kSkipped and carry on; the
+///               report is partial and its manifest says so.
+///   retry(n)  — re-run the cell with a fresh deterministic seed
+///               (substream_seed(cell_seed, attempt)) up to n attempts,
+///               then mark it CellState::kFailed.
+struct FailurePolicy {
+  enum class Mode : std::uint8_t { kFailFast, kSkip, kRetry };
+  Mode mode = Mode::kFailFast;
+  /// Total simulation attempts per cell (retry mode only; must be >= 1).
+  std::uint32_t max_attempts = 3;
+
+  static FailurePolicy fail_fast() noexcept { return {}; }
+  static FailurePolicy skip() noexcept {
+    FailurePolicy policy;
+    policy.mode = Mode::kSkip;
+    return policy;
+  }
+  static FailurePolicy retry(std::uint32_t max_attempts) noexcept {
+    FailurePolicy policy;
+    policy.mode = Mode::kRetry;
+    policy.max_attempts = max_attempts;
+    return policy;
+  }
+};
+
 struct ExperimentSpec {
   std::string scenario;  ///< registry key (see lab/registry.h)
   SourceOptions tuning;
@@ -42,7 +71,21 @@ struct ExperimentSpec {
   std::uint64_t seed = 1;
   /// Forwarded to every estimator (confidence level, Newey-West lag).
   core::AnalysisOptions analysis;
+  /// Per-cell failure isolation (see FailurePolicy above).
+  FailurePolicy on_failure;
+  /// Data-quality guardrail thresholds (core/data_quality.h); every OK
+  /// cell gets a DataQualityReport, and unusable tables are quarantined
+  /// as CellState::kQualityHold.
+  core::DataQualityOptions quality;
 };
+
+/// Validate a spec the way video::validate checks a ClusterConfig: throws
+/// std::invalid_argument naming the offending field (empty scenario, zero
+/// replicates, empty/out-of-range/duplicate allocations, duplicate
+/// estimator keys, retry with zero attempts). run_experiment calls this
+/// after resolving an empty allocation list to the source's default, so
+/// specs that rely on that default remain valid.
+void validate(const ExperimentSpec& spec);
 
 /// Deterministic seed of cell `index` under base seed `base` (the same
 /// counter-based substream scheme stats::bootstrap uses).

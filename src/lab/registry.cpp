@@ -59,6 +59,13 @@ class DumbbellSource final : public DataSource {
     return table;
   }
 
+  double intended_treated_fraction(double allocation) const noexcept override {
+    // run() treats exactly lround(allocation * num_apps) apps; the SRM
+    // null is that integer count, not the unrounded fraction.
+    const auto n = static_cast<double>(config_.num_apps);
+    return n > 0.0 ? std::round(allocation * n) / n : allocation;
+  }
+
  private:
   std::string name_;
   Treatment treatment_;
@@ -106,6 +113,15 @@ class PairedLinkSource final : public DataSource {
     table.add_aggregate(
         "sessions_completed",
         static_cast<double>(result.stats.sessions_completed));
+    // Telemetry-fault tallies only exist under a fault plan, keeping the
+    // fault-free tables bit-identical to their pre-fault-layer shape.
+    if (!config_.faults.empty()) {
+      table.add_aggregate("records_dropped",
+                          static_cast<double>(result.stats.records_dropped));
+      table.add_aggregate(
+          "records_corrupted",
+          static_cast<double>(result.stats.records_corrupted));
+    }
     for (int link = 0; link < 2; ++link) {
       const std::string suffix = "/link" + std::to_string(link + 1);
       table.add_aggregate("peak_utilization" + suffix,
@@ -115,6 +131,18 @@ class PairedLinkSource final : public DataSource {
       table.add_series("hourly_rtt" + suffix, result.hourly_rtt[link]);
     }
     return table;
+  }
+
+  double intended_treated_fraction(double allocation) const noexcept override {
+    // Sessions route to link 0 w.p. link0_probability and are treated
+    // w.p. treat_probability[link]; the marginal treated fraction mixes
+    // the two per-link Bernoullis.
+    const double p0 = config_.link0_probability;
+    if (allocation_sets_treatment_) {
+      return p0 * allocation + (1.0 - p0) * (1.0 - allocation);
+    }
+    return p0 * config_.treat_probability[0] +
+           (1.0 - p0) * config_.treat_probability[1];
   }
 
  private:
@@ -133,6 +161,9 @@ LabConfig scaled(LabConfig config, double scale) {
 
 video::ClusterConfig scaled(video::ClusterConfig config, double scale) {
   config.days *= scale;
+  // Fault windows are authored in canonical 5-day seconds; shrink them
+  // with the horizon or a smoke run never reaches its faults.
+  config.faults.scale_time(scale);
   return config;
 }
 
@@ -186,6 +217,48 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
   paired_policy("paired_links/abr_swap", "control", "rate");
   // Head-to-head ABR experiment: buffer-based BBA vs throughput-based.
   paired_policy("paired_links/bba_vs_rate", "bba", "rate");
+
+  // Fault-injected experiment weeks (video/faults.h): the canonical
+  // capping experiment run on degraded infrastructure. Windows are in
+  // canonical 5-day seconds; scaled() shrinks them with the horizon.
+  const auto paired_faults = [&](const char* name,
+                                 video::FaultPlan (*plan)()) {
+    reg.emplace(name, [name, plan](const SourceOptions& opt) {
+      video::ClusterConfig config = canonical_experiment_config();
+      config.faults = plan();
+      return std::make_unique<PairedLinkSource>(
+          name, scaled(config, opt.duration_scale),
+          /*allocation_sets_treatment=*/true);
+    });
+  };
+  // Link 0 goes dark mid-week for ~2.4 hours, then link 1 runs at 40%
+  // capacity through an evening peak two days later.
+  paired_faults("paired_links/outage", [] {
+    video::FaultPlan plan;
+    plan.name = "outage";
+    plan.link_faults.push_back({/*link=*/0, 1.75 * 86400.0, 1.85 * 86400.0,
+                                /*capacity_factor=*/0.0});
+    plan.link_faults.push_back({/*link=*/1, 3.20 * 86400.0, 3.50 * 86400.0,
+                                /*capacity_factor=*/0.4});
+    return plan;
+  });
+  // A flash crowd multiplies arrivals by 1.8x over a ~6-hour window.
+  paired_faults("paired_links/flash_crowd", [] {
+    video::FaultPlan plan;
+    plan.name = "flash_crowd";
+    plan.demand_faults.push_back(
+        {2.70 * 86400.0, 2.95 * 86400.0, /*rate_multiplier=*/1.8});
+    return plan;
+  });
+  // The world is healthy; the collection pipeline is not: 5% of session
+  // records vanish and 3% lose their network metrics.
+  paired_faults("paired_links/lossy_telemetry", [] {
+    video::FaultPlan plan;
+    plan.name = "lossy_telemetry";
+    plan.telemetry.drop_probability = 0.05;
+    plan.telemetry.corrupt_probability = 0.03;
+    return plan;
+  });
 }
 
 util::StringRegistry<SourceFactory>& registry() {

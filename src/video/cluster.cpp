@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -50,6 +51,7 @@ void validate(const ClusterConfig& config) {
   check(config.spurious_rebuffer_per_hour[0] >= 0.0 &&
             config.spurious_rebuffer_per_hour[1] >= 0.0,
         "spurious_rebuffer_per_hour", "must be non-negative");
+  validate(config.faults);
 }
 
 ClusterResult run_paired_links(const ClusterConfig& config) {
@@ -142,9 +144,18 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
       std::log(config.session.access_rate_median);
   std::uint64_t next_session_id = 1;
 
+  // Fault-plan gates, hoisted: the common (empty-plan) case pays one
+  // branch per tick and never calls into faults.cpp. The demand
+  // multiplier path is always-on because x1.0 is an exact multiply.
+  const bool has_link_faults = !config.faults.link_faults.empty();
+  const bool has_demand_faults = !config.faults.demand_faults.empty();
+
   for (double t = 0.0; t < horizon; t += dt) {
     // --- Arrivals (shared demand pool, hash-routed to a link) ---
-    const std::uint64_t n_arrivals = demand.draw_arrivals(t, dt, rng);
+    const double rate_scale =
+        has_demand_faults ? demand_multiplier(config.faults, t) : 1.0;
+    const std::uint64_t n_arrivals =
+        demand.draw_arrivals(t, dt, rng, rate_scale);
     for (std::uint64_t a = 0; a < n_arrivals; ++a) {
       const std::uint8_t link = rng.uniform() < config.link0_probability
                                     ? std::uint8_t{0}
@@ -185,6 +196,13 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
     // --- Per-link tick: four tight passes, each streaming the arrays ---
     for (int l = 0; l < 2; ++l) {
       SessionPool& pool = pools[l];
+
+      // Capacity fault windows (outage / degradation). Only touched when
+      // the plan has link faults: the factor stays at its initial 1.0
+      // otherwise and the link math is bit-identical to the clean path.
+      if (has_link_faults) {
+        links[l].set_capacity_factor(capacity_factor(config.faults, l, t));
+      }
 
       // Pass 1: demand gather.
       double desired_load = 0.0;
@@ -235,6 +253,40 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
   // experiment boundary).
   for (int l = 0; l < 2; ++l) {
     pools[l].flush_all(result.sessions);
+  }
+
+  // --- Telemetry faults (dataset layer, after the world has run) ---
+  // Each record's fate is a seed-pure hash of (seed, session_id); no RNG
+  // stream is consumed, so the simulated world above is untouched —
+  // exactly like a lossy collection pipeline recording a healthy network.
+  const TelemetryFault& telemetry = config.faults.telemetry;
+  if (telemetry.drop_probability > 0.0 ||
+      telemetry.corrupt_probability > 0.0) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < result.sessions.size(); ++i) {
+      SessionRecord& record = result.sessions[i];
+      switch (telemetry_fate(telemetry, config.seed, record.session_id)) {
+        case TelemetryFate::kDropped:
+          ++result.stats.records_dropped;
+          continue;  // never copied to the kept prefix
+        case TelemetryFate::kCorrupted:
+          // Network metrics truncated from the capture; QoE and identity
+          // fields survive (client- vs server-side telemetry paths).
+          record.avg_throughput_bps =
+              std::numeric_limits<double>::quiet_NaN();
+          record.min_rtt = std::numeric_limits<double>::quiet_NaN();
+          record.mean_rtt = std::numeric_limits<double>::quiet_NaN();
+          record.retransmit_fraction =
+              std::numeric_limits<double>::quiet_NaN();
+          ++result.stats.records_corrupted;
+          break;
+        case TelemetryFate::kKept:
+          break;
+      }
+      if (kept != i) result.sessions[kept] = record;
+      ++kept;
+    }
+    result.sessions.resize(kept);
   }
   return result;
 }

@@ -18,6 +18,7 @@
 
 #include "video/abr.h"
 #include "video/demand.h"
+#include "video/faults.h"
 #include "video/fluid_link.h"
 #include "video/policy.h"
 #include "video/session_pool.h"
@@ -74,6 +75,11 @@ struct ClusterConfig {
   double days = 5.0;
   double tick_seconds = 1.0;
 
+  /// Deterministic fault plan (video/faults.h). The default plan is empty
+  /// and the run is bit-identical to a cluster with no fault code; a
+  /// non-empty plan is still a pure function of (config, seed).
+  FaultPlan faults;
+
   std::uint64_t seed = 42;
 };
 
@@ -83,6 +89,9 @@ struct ClusterRunStats {
   double peak_concurrency[2] = {0.0, 0.0};
   double peak_utilization[2] = {0.0, 0.0};
   double max_queueing_delay[2] = {0.0, 0.0};
+  /// Telemetry-fault tallies: records removed from / NaN-ed in the output.
+  std::uint64_t records_dropped = 0;
+  std::uint64_t records_corrupted = 0;
 };
 
 struct ClusterResult {

@@ -19,8 +19,9 @@ double DemandModel::arrival_rate(double t) const noexcept {
 }
 
 std::uint64_t DemandModel::draw_arrivals(double t, double dt,
-                                         stats::Rng& rng) const {
-  return rng.poisson(arrival_rate(t) * dt);
+                                         stats::Rng& rng,
+                                         double rate_scale) const {
+  return rng.poisson(arrival_rate(t) * rate_scale * dt);
 }
 
 double DemandModel::draw_duration(stats::Rng& rng) const {

@@ -44,8 +44,11 @@ class DemandModel {
   /// start of day 0. Day length is 86400 s; day-of-week = day % 7.
   double arrival_rate(double t) const noexcept;
 
-  /// Draw the number of arrivals in [t, t+dt).
-  std::uint64_t draw_arrivals(double t, double dt, stats::Rng& rng) const;
+  /// Draw the number of arrivals in [t, t+dt). `rate_scale` multiplies
+  /// the diurnal rate (flash-crowd fault windows); the default 1.0 is an
+  /// exact multiply, leaving the no-fault draw bit-identical.
+  std::uint64_t draw_arrivals(double t, double dt, stats::Rng& rng,
+                              double rate_scale = 1.0) const;
 
   /// Draw a viewing duration (seconds).
   double draw_duration(stats::Rng& rng) const;

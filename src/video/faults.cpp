@@ -1,0 +1,108 @@
+#include "video/faults.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace xp::video {
+
+namespace {
+
+void check(bool ok, const std::string& field, const char* requirement) {
+  if (!ok) {
+    throw std::invalid_argument("FaultPlan: " + field + " " + requirement);
+  }
+}
+
+void check_window(double start, double end, const std::string& field) {
+  check(start >= 0.0, field + ".start_seconds", "must be non-negative");
+  check(end > start, field + ".end_seconds",
+        "must be greater than start_seconds");
+}
+
+/// Uniform double in [0, 1) from a seed-pure hash — the same 53-bit
+/// mantissa construction stats::Rng::uniform uses, over mix64 instead of
+/// a stream, so record fates never consume simulation draws.
+double hash_uniform(std::uint64_t base, std::uint64_t index) noexcept {
+  return static_cast<double>(stats::substream_seed(base, index) >> 11) *
+         0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultPlan::scale_time(double scale) noexcept {
+  for (LinkFault& fault : link_faults) {
+    fault.start_seconds *= scale;
+    fault.end_seconds *= scale;
+  }
+  for (DemandFault& fault : demand_faults) {
+    fault.start_seconds *= scale;
+    fault.end_seconds *= scale;
+  }
+}
+
+void validate(const FaultPlan& plan) {
+  for (std::size_t i = 0; i < plan.link_faults.size(); ++i) {
+    const LinkFault& fault = plan.link_faults[i];
+    const std::string field = "link_faults[" + std::to_string(i) + "]";
+    check(fault.link == 0 || fault.link == 1, field + ".link",
+          "must be 0 or 1");
+    check_window(fault.start_seconds, fault.end_seconds, field);
+    check(fault.capacity_factor >= 0.0, field + ".capacity_factor",
+          "must be non-negative");
+  }
+  for (std::size_t i = 0; i < plan.demand_faults.size(); ++i) {
+    const DemandFault& fault = plan.demand_faults[i];
+    const std::string field = "demand_faults[" + std::to_string(i) + "]";
+    check_window(fault.start_seconds, fault.end_seconds, field);
+    check(fault.rate_multiplier >= 0.0, field + ".rate_multiplier",
+          "must be non-negative");
+  }
+  check(plan.telemetry.drop_probability >= 0.0 &&
+            plan.telemetry.drop_probability <= 1.0,
+        "telemetry.drop_probability", "must be in [0, 1]");
+  check(plan.telemetry.corrupt_probability >= 0.0 &&
+            plan.telemetry.corrupt_probability <= 1.0,
+        "telemetry.corrupt_probability", "must be in [0, 1]");
+}
+
+double capacity_factor(const FaultPlan& plan, int link, double t) noexcept {
+  double factor = 1.0;
+  for (const LinkFault& fault : plan.link_faults) {
+    if (fault.link == link && t >= fault.start_seconds &&
+        t < fault.end_seconds) {
+      factor *= fault.capacity_factor;
+    }
+  }
+  return factor;
+}
+
+double demand_multiplier(const FaultPlan& plan, double t) noexcept {
+  double multiplier = 1.0;
+  for (const DemandFault& fault : plan.demand_faults) {
+    if (t >= fault.start_seconds && t < fault.end_seconds) {
+      multiplier *= fault.rate_multiplier;
+    }
+  }
+  return multiplier;
+}
+
+TelemetryFate telemetry_fate(const TelemetryFault& fault, std::uint64_t seed,
+                             std::uint64_t session_id) noexcept {
+  // Distinct salts give drop and corruption independent hash families, so
+  // raising one probability never reshuffles the other's victims.
+  if (fault.drop_probability > 0.0 &&
+      hash_uniform(seed ^ 0x7e1e6e74d509ull, session_id) <
+          fault.drop_probability) {
+    return TelemetryFate::kDropped;
+  }
+  if (fault.corrupt_probability > 0.0 &&
+      hash_uniform(seed ^ 0xc0224e7a11ull, session_id) <
+          fault.corrupt_probability) {
+    return TelemetryFate::kCorrupted;
+  }
+  return TelemetryFate::kKept;
+}
+
+}  // namespace xp::video

@@ -88,14 +88,21 @@ void FluidLink::allocate_and_advance(std::span<const double> demands,
                                      double desired_load_bps, double dt,
                                      std::vector<double>& alloc) {
   alloc.resize(demands.size());
-  const double delivered = max_min_fair_allocation_into(
-      demands, config_.capacity_bps, alloc, order_scratch_);
-  last_utilization_ = delivered / config_.capacity_bps;
+  // Effective capacity = nominal x fault factor; at the default factor of
+  // exactly 1.0 the multiply is IEEE-identical to the nominal path, so
+  // fault-free worlds stay bit-for-bit unchanged.
+  const double cap = config_.capacity_bps * capacity_factor_;
+  const double delivered =
+      max_min_fair_allocation_into(demands, cap, alloc, order_scratch_);
+  last_utilization_ = cap > 0.0 ? delivered / cap : 0.0;
 
   // Smooth the desired-load ratio, then relax the standing queue toward
   // the level TCP would hold at that load: empty below rho_knee, full
-  // above rho_full, ramping in between.
-  const double instant_rho = desired_load_bps / config_.capacity_bps;
+  // above rho_full, ramping in between. A full outage (cap == 0) pins the
+  // instantaneous ratio past rho_full — the queue saturates instead of
+  // dividing by zero.
+  const double instant_rho =
+      cap > 0.0 ? desired_load_bps / cap : config_.rho_full + 1.0;
   const double a_rho = std::min(1.0, dt / config_.rho_tau);
   rho_ += a_rho * (instant_rho - rho_);
 

@@ -85,6 +85,20 @@ class FluidLink {
   /// Smoothed sustained-load ratio (load / capacity).
   double rho() const noexcept { return rho_; }
 
+  /// Fault-injection hook: capacity is scaled by this factor until it is
+  /// set again (1.0 = nominal, 0.0 = outage). Allocation and the
+  /// congestion signal see the effective capacity; the buffer depth and
+  /// queue drain rate stay tied to the nominal capacity (the hardware
+  /// does not shrink with the fault).
+  void set_capacity_factor(double factor) noexcept {
+    capacity_factor_ = factor;
+  }
+  double capacity_factor() const noexcept { return capacity_factor_; }
+  /// Effective capacity this tick (nominal x fault factor).
+  double capacity_bps() const noexcept {
+    return config_.capacity_bps * capacity_factor_;
+  }
+
   const FluidLinkConfig& config() const noexcept { return config_; }
 
   /// Reset queue state (new simulation day boundary is NOT reset — the
@@ -97,6 +111,7 @@ class FluidLink {
 
  private:
   FluidLinkConfig config_;
+  double capacity_factor_ = 1.0;
   double queue_bytes_ = 0.0;
   double last_utilization_ = 0.0;
   double rho_ = 0.0;

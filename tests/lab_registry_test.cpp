@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -38,8 +40,11 @@ void expect_tables_identical(const lab::ObservationTable& a,
       EXPECT_EQ(x.unit, y.unit);
       EXPECT_EQ(x.account, y.account);
       EXPECT_EQ(x.treated, y.treated);
-      // Bit-for-bit, not approximately: the determinism contract.
-      EXPECT_EQ(x.outcome, y.outcome);
+      // Bit-for-bit, not approximately: the determinism contract. The
+      // comparison is over bit patterns so NaN outcomes (corrupted
+      // telemetry under a fault plan) compare equal to themselves.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(x.outcome),
+                std::bit_cast<std::uint64_t>(y.outcome));
       EXPECT_EQ(x.hour_of_day, y.hour_of_day);
       EXPECT_EQ(x.hour_index, y.hour_index);
       EXPECT_EQ(x.day, y.day);
