@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "core/analysis.h"
+#include "core/quantile_effects.h"
 #include "lab/experiment.h"
 #include "lab/scenarios.h"
 #include "util/runner.h"
@@ -46,6 +47,29 @@ void BM_OlsHourlyFeNeweyWest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OlsHourlyFeNeweyWest);
+
+void BM_QuantileLadderBootstrap(benchmark::State& state) {
+  // The Section-2 tail-effect ladder (median / p90 / p99) over a
+  // session-sized observation table — the batched-resampling hot path
+  // behind every quantile figure. Single-threaded runner so the gate
+  // measures the kernel, not the fan-out.
+  xp::util::Runner runner(1);
+  xp::stats::Rng rng(4);
+  std::vector<xp::core::Observation> rows(4000);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].unit = i;
+    rows[i].treated = (i % 2) == 1;
+    rows[i].outcome = rng.lognormal(0.0, 1.0) + (rows[i].treated ? 0.05 : 0.0);
+  }
+  const double quantiles[] = {0.5, 0.9, 0.99};
+  xp::core::QuantileEffectOptions options;
+  options.bootstrap_replicates = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        xp::core::quantile_effect_ladder(rows, quantiles, options, &runner));
+  }
+}
+BENCHMARK(BM_QuantileLadderBootstrap)->Unit(benchmark::kMillisecond);
 
 void BM_Quantile(benchmark::State& state) {
   xp::stats::Rng rng(2);

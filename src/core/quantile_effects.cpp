@@ -11,11 +11,17 @@ namespace xp::core {
 
 EffectEstimate quantile_treatment_effect(
     std::span<const Observation> rows, double q,
-    const QuantileEffectOptions& options) {
+    const QuantileEffectOptions& options, util::Runner* runner) {
   std::vector<double> treated, control;
   for (const Observation& row : rows) {
     (row.treated ? treated : control).push_back(row.outcome);
   }
+  return quantile_treatment_effect(treated, control, q, options, runner);
+}
+
+EffectEstimate quantile_treatment_effect(
+    std::span<const double> treated, std::span<const double> control,
+    double q, const QuantileEffectOptions& options, util::Runner* runner) {
   if (treated.size() < 10 || control.size() < 10) {
     throw std::invalid_argument(
         "quantile_treatment_effect: need >= 10 units per arm");
@@ -28,7 +34,7 @@ EffectEstimate quantile_treatment_effect(
   };
   const stats::BootstrapInterval interval = stats::bootstrap_two_sample_ci(
       treated, control, statistic, rng, options.bootstrap_replicates,
-      options.confidence_level);
+      options.confidence_level, runner);
 
   EffectEstimate effect;
   effect.estimate = interval.point;
@@ -45,15 +51,24 @@ EffectEstimate quantile_treatment_effect(
 
 std::vector<QuantileEffectRow> quantile_effect_ladder(
     std::span<const Observation> rows, std::span<const double> quantiles,
-    const QuantileEffectOptions& options) {
+    const QuantileEffectOptions& options, util::Runner* runner) {
+  // The arm partition is identical for every rung, so split the table
+  // once up front; each rung then bootstraps over the shared read-only
+  // outcome vectors.
+  std::vector<double> treated, control;
+  for (const Observation& row : rows) {
+    (row.treated ? treated : control).push_back(row.outcome);
+  }
   // Rungs are independent bootstraps with index-derived seeds, so the
   // runner can fan them out; the ladder is identical at any thread count.
+  util::Runner& pool = runner ? *runner : util::global_runner();
   std::vector<QuantileEffectRow> ladder(quantiles.size());
-  util::global_runner().parallel_for(quantiles.size(), [&](std::size_t i) {
+  pool.parallel_for(quantiles.size(), [&](std::size_t i) {
     QuantileEffectOptions step = options;
     step.seed = options.seed + i + 1;  // independent streams per quantile
     ladder[i].quantile = quantiles[i];
-    ladder[i].effect = quantile_treatment_effect(rows, quantiles[i], step);
+    ladder[i].effect =
+        quantile_treatment_effect(treated, control, quantiles[i], step, runner);
   });
   return ladder;
 }

@@ -13,6 +13,10 @@
 #include "core/observation.h"
 #include "stats/rng.h"
 
+namespace xp::util {
+class Runner;  // rungs and replicates fan out here (see util/runner.h)
+}
+
 namespace xp::core {
 
 struct QuantileEffectOptions {
@@ -23,9 +27,21 @@ struct QuantileEffectOptions {
 
 /// Quantile-q treatment effect: Q_q(treated) - Q_q(control), with a
 /// percentile-bootstrap interval (arms resampled independently).
+/// `runner` controls where bootstrap replicates fan out (null = the
+/// process-wide runner); results are identical at any thread count.
 EffectEstimate quantile_treatment_effect(
     std::span<const Observation> rows, double q,
-    const QuantileEffectOptions& options = {});
+    const QuantileEffectOptions& options = {},
+    util::Runner* runner = nullptr);
+
+/// Pre-partitioned form: callers that evaluate several quantiles over the
+/// same rows (the ladder below) split the arms once and reuse the
+/// outcome vectors, instead of re-scanning the observation table per
+/// rung. Identical results to the row-based overload.
+EffectEstimate quantile_treatment_effect(
+    std::span<const double> treated, std::span<const double> control,
+    double q, const QuantileEffectOptions& options = {},
+    util::Runner* runner = nullptr);
 
 /// A ladder of quantile effects (e.g. median, p90, p99) for one metric —
 /// congestion interference often concentrates in the tail, so the tail
@@ -38,6 +54,7 @@ struct QuantileEffectRow {
 std::vector<QuantileEffectRow> quantile_effect_ladder(
     std::span<const Observation> rows,
     std::span<const double> quantiles,
-    const QuantileEffectOptions& options = {});
+    const QuantileEffectOptions& options = {},
+    util::Runner* runner = nullptr);
 
 }  // namespace xp::core

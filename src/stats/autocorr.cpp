@@ -7,6 +7,37 @@
 
 namespace xp::stats {
 
+namespace {
+
+/// Center xs about its mean into `centered` and return the zero-lag
+/// denominator sum(d*d) — accumulated in the same element order as the
+/// one-shot autocorrelation path, so multi-lag callers that hoist this
+/// step produce bit-identical r values.
+double center_about_mean(std::span<const double> xs,
+                         std::vector<double>& centered) noexcept {
+  const double m = mean(xs);
+  const std::size_t n = xs.size();
+  centered.resize(n);
+  double den = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double d = xs[t] - m;
+    centered[t] = d;
+    den += d * d;
+  }
+  return den;
+}
+
+/// Lag-l autocovariance numerator over pre-centered values.
+double lag_numerator(const std::vector<double>& d, std::size_t lag) noexcept {
+  double num = 0.0;
+  for (std::size_t t = 0; t + lag < d.size(); ++t) {
+    num += d[t] * d[t + lag];
+  }
+  return num;
+}
+
+}  // namespace
+
 double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
   const std::size_t n = xs.size();
   if (lag >= n || n < 2) return 0.0;
@@ -23,8 +54,24 @@ double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
 std::vector<double> acf(std::span<const double> xs, std::size_t max_lag) {
   std::vector<double> out;
   out.reserve(max_lag + 1);
+  if (xs.size() < 2) {
+    // Match the one-shot path's degenerate-input behavior exactly.
+    for (std::size_t l = 0; l <= max_lag; ++l) {
+      out.push_back(autocorrelation(xs, l));
+    }
+    return out;
+  }
+  // Center once instead of re-deriving mean and denominator per lag —
+  // the one-shot path is O(n) per call, so the naive ladder is O(n*L)
+  // redundant work. Same accumulation orders, bit-identical results.
+  std::vector<double> d;
+  const double den = center_about_mean(xs, d);
   for (std::size_t l = 0; l <= max_lag; ++l) {
-    out.push_back(autocorrelation(xs, l));
+    if (l >= xs.size() || den == 0.0) {
+      out.push_back(0.0);
+      continue;
+    }
+    out.push_back(lag_numerator(d, l) / den);
   }
   return out;
 }
@@ -40,9 +87,14 @@ std::vector<double> bartlett_weights(std::size_t max_lag) {
 double ljung_box_q(std::span<const double> xs, std::size_t max_lag) noexcept {
   const auto n = static_cast<double>(xs.size());
   if (xs.size() < 3 || max_lag == 0) return 0.0;
+  // One centering pass shared by every lag (see acf) instead of a full
+  // mean + denominator recomputation per term.
+  std::vector<double> d;
+  const double den = center_about_mean(xs, d);
+  if (den == 0.0) return 0.0;
   double q = 0.0;
   for (std::size_t l = 1; l <= max_lag && l < xs.size(); ++l) {
-    const double r = autocorrelation(xs, l);
+    const double r = lag_numerator(d, l) / den;
     q += r * r / (n - static_cast<double>(l));
   }
   return n * (n + 2.0) * q;

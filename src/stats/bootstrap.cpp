@@ -13,7 +13,19 @@ namespace {
 
 std::vector<double> resample(std::span<const double> sample, Rng& rng) {
   std::vector<double> out(sample.size());
-  for (auto& v : out) v = sample[rng.uniform_int(sample.size())];
+  const std::size_t n = sample.size();
+  // Indices are drawn a stack-chunk at a time (fill_uniform_int preserves
+  // the one-at-a-time draw order exactly), so the generator recurrence
+  // runs back to back and the gather loop is free of it — the interleaved
+  // form re-entered the generator between every cache-missing gather.
+  std::uint32_t idx[256];
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t m = std::min(sizeof(idx) / sizeof(idx[0]), n - done);
+    rng.fill_uniform_int(n, {idx, m});
+    for (std::size_t j = 0; j < m; ++j) out[done + j] = sample[idx[j]];
+    done += m;
+  }
   return out;
 }
 

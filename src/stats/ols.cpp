@@ -10,36 +10,88 @@ namespace xp::stats {
 
 namespace {
 
+// Robust-covariance "meat" kernels, restructured around the scaled design
+// Z (z_t = e_t x_t, row-major n x k like the design itself): every pass
+// below is a contiguous sweep the vectorizer handles, instead of the
+// per-observation rank-1 (and per-lag rank-2) updates of the textbook
+// form. Free functions with restrict parameters — GCC only honors the
+// qualifier on parameters, and without it the multi-pointer loops drown
+// in runtime alias versioning.
+
+/// Scale each design row by its residual: z_t = e_t x_t.
+[[gnu::noinline]] void scale_rows(double* __restrict z,
+                                  const double* __restrict x,
+                                  const double* __restrict e, std::size_t n,
+                                  std::size_t k) noexcept {
+  for (std::size_t t = 0; t < n; ++t) {
+    double* zr = z + t * k;
+    const double* xr = x + t * k;
+    const double et = e[t];
+    // vec-check: nw-scale-rows
+    for (std::size_t j = 0; j < k; ++j) zr[j] = et * xr[j];
+  }
+}
+
+/// y += a * x over a contiguous block (the flattened lag-window shift).
+[[gnu::noinline]] void axpy(double* __restrict y, const double* __restrict x,
+                            std::size_t n, double a) noexcept {
+  // vec-check: nw-lag-axpy
+  for (std::size_t m = 0; m < n; ++m) y[m] += a * x[m];
+}
+
+/// S += Z' V for row-major n x k blocks (Z and V may be the same block;
+/// both are only read). The inner loop is a contiguous axpy of row V_t
+/// onto row i of S.
+[[gnu::noinline]] void accumulate_ztv(const double* __restrict z,
+                                      const double* __restrict v,
+                                      double* __restrict s, std::size_t n,
+                                      std::size_t k) noexcept {
+  for (std::size_t t = 0; t < n; ++t) {
+    const double* zr = z + t * k;
+    const double* vr = v + t * k;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double zi = zr[i];
+      double* sr = s + i * k;
+      // vec-check: nw-outer-product
+      for (std::size_t j = 0; j < k; ++j) sr[j] += zi * vr[j];
+    }
+  }
+}
+
 /// Bartlett-kernel HAC "meat": S = Gamma0 + sum_l w_l (Gamma_l + Gamma_l').
+///
+/// Computed as S = Z' W Z with W the banded Bartlett Toeplitz matrix
+/// (1 on the diagonal, w_l = 1 - l/(L+1) on band |t-s| = l); expanding W
+/// reproduces the Gamma-sum definition term for term. Forming V = W Z
+/// first turns each lag into two contiguous axpys over the flattened
+/// block — O(nLk + nk^2) total instead of the O(nLk^2) triple loop of
+/// per-lag rank-2 updates.
 Matrix newey_west_meat(const Matrix& x, std::span<const double> residuals,
                        std::size_t lag) {
   const std::size_t n = x.rows();
   const std::size_t k = x.cols();
-  Matrix meat(k, k);
-
-  // Gamma_0 = sum_t e_t^2 x_t x_t'.
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto xt = x.row(t);
-    const double e2 = residuals[t] * residuals[t];
-    for (std::size_t i = 0; i < k; ++i) {
-      for (std::size_t j = 0; j < k; ++j) {
-        meat(i, j) += e2 * xt[i] * xt[j];
-      }
-    }
-  }
-  // Lag terms with Bartlett weights w_l = 1 - l/(L+1).
+  std::vector<double> z(n * k);
+  scale_rows(z.data(), x.flat().data(), residuals.data(), n, k);
+  std::vector<double> v = z;
   for (std::size_t l = 1; l <= lag && l < n; ++l) {
-    const double w = 1.0 - static_cast<double>(l) / static_cast<double>(lag + 1);
-    for (std::size_t t = l; t < n; ++t) {
-      const auto xt = x.row(t);
-      const auto xs = x.row(t - l);
-      const double ee = residuals[t] * residuals[t - l];
-      for (std::size_t i = 0; i < k; ++i) {
-        for (std::size_t j = 0; j < k; ++j) {
-          // Gamma_l + Gamma_l^T contribution.
-          meat(i, j) += w * ee * (xt[i] * xs[j] + xs[i] * xt[j]);
-        }
-      }
+    const double w =
+        1.0 - static_cast<double>(l) / static_cast<double>(lag + 1);
+    const std::size_t len = (n - l) * k;
+    axpy(v.data() + l * k, z.data(), len, w);  // row t gains w * z_{t-l}
+    axpy(v.data(), z.data() + l * k, len, w);  // row t gains w * z_{t+l}
+  }
+  std::vector<double> s(k * k, 0.0);
+  accumulate_ztv(z.data(), v.data(), s.data(), n, k);
+  // Z'WZ is exactly symmetric in exact arithmetic, but the row/column
+  // summation orders differ in floating point; averaging the two halves
+  // restores the exact symmetry the sandwich (and its Cholesky-based
+  // consumers) rely on.
+  Matrix meat(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double avg = 0.5 * (s[i * k + j] + s[j * k + i]);
+      meat(i, j) = avg;
+      meat(j, i) = avg;
     }
   }
   return meat;
@@ -48,19 +100,21 @@ Matrix newey_west_meat(const Matrix& x, std::span<const double> residuals,
 Matrix hc1_meat(const Matrix& x, std::span<const double> residuals) {
   const std::size_t n = x.rows();
   const std::size_t k = x.cols();
-  Matrix meat(k, k);
-  for (std::size_t t = 0; t < n; ++t) {
-    const auto xt = x.row(t);
-    const double e2 = residuals[t] * residuals[t];
-    for (std::size_t i = 0; i < k; ++i) {
-      for (std::size_t j = 0; j < k; ++j) {
-        meat(i, j) += e2 * xt[i] * xt[j];
-      }
-    }
-  }
+  // Gamma0 = Z'Z — the lag-free case of the same contiguous kernels (the
+  // aliased call is read-only on both operands). Bitwise symmetric: row
+  // i/col j and row j/col i accumulate identical products in identical
+  // order.
+  std::vector<double> z(n * k);
+  scale_rows(z.data(), x.flat().data(), residuals.data(), n, k);
+  std::vector<double> s(k * k, 0.0);
+  accumulate_ztv(z.data(), z.data(), s.data(), n, k);
   const double scale =
       static_cast<double>(n) / std::max(1.0, static_cast<double>(n - k));
-  return meat.scaled(scale);
+  Matrix meat(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) meat(i, j) = s[i * k + j] * scale;
+  }
+  return meat;
 }
 
 }  // namespace

@@ -131,4 +131,106 @@ double Rng::pareto(double xm, double alpha) noexcept {
 
 Rng Rng::split() noexcept { return Rng{next() ^ 0xd2b74407b1ce6e93ULL}; }
 
+void Rng::fill_uniform(std::span<double> out) noexcept {
+  for (double& v : out) v = uniform();
+}
+
+void Rng::fill_uniform_int(std::uint64_t n,
+                           std::span<std::uint32_t> out) noexcept {
+  for (std::uint32_t& v : out) {
+    v = static_cast<std::uint32_t>(uniform_int(n));
+  }
+}
+
+BatchedRng::BatchedRng(std::uint64_t seed, std::size_t block_words)
+    : rng_(seed), block_(block_words == 0 ? 1 : block_words) {
+  pos_ = block_.size();  // empty: first draw triggers a refill
+}
+
+void BatchedRng::refill() noexcept {
+  // The recurrence runs back to back over the whole block — the only
+  // place raw words are generated.
+  for (std::uint64_t& word : block_) word = rng_.next();
+  pos_ = 0;
+}
+
+std::uint64_t BatchedRng::uniform_int(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded integers (same as Rng).
+  __uint128_t m = static_cast<__uint128_t>(next()) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      m = static_cast<__uint128_t>(next()) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double BatchedRng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double BatchedRng::exponential(double rate) noexcept {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t BatchedRng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++k;
+      product *= uniform();
+    }
+    return k;
+  }
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+double BatchedRng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+void BatchedRng::fill_uniform(std::span<double> out) noexcept {
+  std::size_t k = 0;
+  while (k < out.size()) {
+    if (pos_ == block_.size()) refill();
+    const std::size_t take = std::min(out.size() - k, block_.size() - pos_);
+    const std::uint64_t* src = block_.data() + pos_;
+    double* dst = out.data() + k;
+    for (std::size_t j = 0; j < take; ++j) {
+      dst[j] = static_cast<double>(src[j] >> 11) * 0x1.0p-53;
+    }
+    pos_ += take;
+    k += take;
+  }
+}
+
+void BatchedRng::fill_exponential(std::span<double> out,
+                                  double rate) noexcept {
+  for (double& v : out) v = exponential(rate);
+}
+
 }  // namespace xp::stats

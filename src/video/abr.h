@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "video/bitrate.h"
 
@@ -37,26 +38,39 @@ struct AbrConfig {
 /// arithmetic: the session pool's tick loop calls it with cached raw rung
 /// pointers, and the ladder-based overload below delegates here — change
 /// the policy in exactly one place.
-inline double abr_select_rungs(const double* rungs, double top_index,
-                               const AbrConfig& config,
-                               double buffer_seconds) noexcept {
-  if (buffer_seconds <= config.reservoir_seconds) return rungs[0];
+inline std::size_t abr_select_index_rungs(double top_index,
+                                          const AbrConfig& config,
+                                          double buffer_seconds) noexcept {
+  if (buffer_seconds <= config.reservoir_seconds) return 0;
   const double t = std::clamp(
       (buffer_seconds - config.reservoir_seconds) / config.cushion_seconds,
       0.0, 1.0);
   // Linear interpolation across ladder indices.
-  return rungs[static_cast<std::size_t>(std::floor(t * top_index))];
+  return static_cast<std::size_t>(std::floor(t * top_index));
 }
 
-/// Highest rung <= `value`, floored at the lowest rung. The ladder is a
+inline double abr_select_rungs(const double* rungs, double top_index,
+                               const AbrConfig& config,
+                               double buffer_seconds) noexcept {
+  return rungs[abr_select_index_rungs(top_index, config, buffer_seconds)];
+}
+
+/// Index of the highest rung <= `value`, floored at 0. The ladder is a
 /// dozen rungs, so a forward scan beats a binary search and its branch
-/// misses in the tick loop.
-inline double rung_at_most(const double* rungs, double top_index,
-                           double value) noexcept {
+/// misses in the tick loop. Index form so callers with per-rung caches
+/// (the pool's quality scores) can reuse the pick.
+inline std::size_t rung_index_at_most(const double* rungs, double top_index,
+                                      double value) noexcept {
   const auto top = static_cast<std::size_t>(top_index);
   std::size_t pick = 0;
   for (std::size_t r = 1; r <= top && rungs[r] <= value; ++r) pick = r;
-  return rungs[pick];
+  return pick;
+}
+
+/// Highest rung <= `value`, floored at the lowest rung.
+inline double rung_at_most(const double* rungs, double top_index,
+                           double value) noexcept {
+  return rungs[rung_index_at_most(rungs, top_index, value)];
 }
 
 /// BBA-proper buffer map: reservoir -> lowest, then linear in *rate* up
@@ -64,20 +78,34 @@ inline double rung_at_most(const double* rungs, double top_index,
 /// in ladder index) exactly as Huang et al.'s f(B) differs from an index
 /// interpolation: on a roughly geometric ladder the rate map climbs into
 /// the top rungs much earlier in the cushion.
-inline double bba_select_rungs(const double* rungs, double top_index,
-                               const AbrConfig& config,
-                               double buffer_seconds) noexcept {
-  if (buffer_seconds <= config.reservoir_seconds) return rungs[0];
+inline std::size_t bba_select_index_rungs(const double* rungs,
+                                          double top_index,
+                                          const AbrConfig& config,
+                                          double buffer_seconds) noexcept {
+  if (buffer_seconds <= config.reservoir_seconds) return 0;
   const double t = std::clamp(
       (buffer_seconds - config.reservoir_seconds) / config.cushion_seconds,
       0.0, 1.0);
   const double top = rungs[static_cast<std::size_t>(top_index)];
   const double rate = rungs[0] + t * (top - rungs[0]);
-  return rung_at_most(rungs, top_index, rate);
+  return rung_index_at_most(rungs, top_index, rate);
+}
+
+inline double bba_select_rungs(const double* rungs, double top_index,
+                               const AbrConfig& config,
+                               double buffer_seconds) noexcept {
+  return rungs[bba_select_index_rungs(rungs, top_index, config,
+                                      buffer_seconds)];
 }
 
 /// Throughput-based selection: highest rung sustainable at `target_bps`
 /// (the caller applies its safety factor to a smoothed rate estimate).
+inline std::size_t rate_select_index_rungs(const double* rungs,
+                                           double top_index,
+                                           double target_bps) noexcept {
+  return rung_index_at_most(rungs, top_index, target_bps);
+}
+
 inline double rate_select_rungs(const double* rungs, double top_index,
                                 double target_bps) noexcept {
   return rung_at_most(rungs, top_index, target_bps);

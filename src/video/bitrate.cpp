@@ -23,6 +23,8 @@ BitrateLadder::BitrateLadder(std::vector<double> rungs)
   if (!std::is_sorted(rungs_.begin(), rungs_.end())) {
     throw std::invalid_argument("BitrateLadder: rungs must ascend");
   }
+  quality_.reserve(rungs_.size());
+  for (double r : rungs_) quality_.push_back(perceptual_quality(r));
 }
 
 double BitrateLadder::highest_at_most(double bitrate_cap) const noexcept {

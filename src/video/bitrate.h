@@ -25,6 +25,11 @@ class BitrateLadder {
   explicit BitrateLadder(std::vector<double> rungs);
 
   std::span<const double> rungs() const noexcept { return rungs_; }
+
+  /// Per-rung perceptual_quality scores, cached at construction (same
+  /// bits as calling perceptual_quality(rung) — the tick's switch path
+  /// reads this instead of paying a log() per switch).
+  std::span<const double> rung_quality() const noexcept { return quality_; }
   std::size_t size() const noexcept { return rungs_.size(); }
   double lowest() const noexcept { return rungs_.front(); }
   double highest() const noexcept { return rungs_.back(); }
@@ -49,6 +54,7 @@ class BitrateLadder {
 
  private:
   std::vector<double> rungs_;
+  std::vector<double> quality_;  ///< perceptual_quality per rung, cached
 };
 
 /// Perceptual quality score in [0, 100] for a bitrate — a concave (log)

@@ -74,7 +74,11 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
     treatment = make_policy(config.treatment_policy);
   }
 
-  stats::Rng rng(config.seed);
+  // Arrival stream: block-buffered over the same xoshiro256** sequence as
+  // stats::Rng(seed) — bit-identical draws by the BatchedRng contract, but
+  // the generator recurrence runs in refill bursts instead of re-entering
+  // per arrival field between pool writes.
+  stats::BatchedRng rng(config.seed);
   const double horizon = config.days * 86400.0;
   const double dt = config.tick_seconds;
 
@@ -204,17 +208,21 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
         links[l].set_capacity_factor(capacity_factor(config.faults, l, t));
       }
 
-      // Pass 1: demand gather.
-      double desired_load = 0.0;
-      pool.gather_demand(demands, desired_load);
+      // Pass 1: demand gather (also yields the demand totals the
+      // allocator seeds from, saving its first sweep of the array).
+      SessionPool::DemandTotals totals;
+      pool.gather_demand(demands, totals);
 
-      // Pass 2: allocate into the hoisted scratch + queue dynamics.
-      links[l].allocate_and_advance(demands, desired_load, dt, alloc);
+      // Pass 2: allocate into the hoisted scratch + queue dynamics. The
+      // grant span aliases `demands` on undersubscribed ticks.
+      const std::span<const double> grants = links[l].allocate_and_advance(
+          demands, totals.desired_load_bps, totals.demand_sum_bps,
+          totals.demand_positive, dt, alloc);
       const double rtt = links[l].rtt();
       const double loss = links[l].loss_fraction();
 
       // Pass 3: advance every session one tick.
-      pool.advance_all(dt, alloc, rtt, loss, &stalls[l]);
+      pool.advance_all(dt, grants, rtt, loss, &stalls[l]);
 
       // Pass 4: retire finished sessions (swap-erase recycles slots).
       pool.retire_finished(result.sessions,

@@ -18,18 +18,6 @@ double DemandModel::arrival_rate(double t) const noexcept {
   return config_.peak_arrivals_per_second * shape;
 }
 
-std::uint64_t DemandModel::draw_arrivals(double t, double dt,
-                                         stats::Rng& rng,
-                                         double rate_scale) const {
-  return rng.poisson(arrival_rate(t) * rate_scale * dt);
-}
-
-double DemandModel::draw_duration(stats::Rng& rng) const {
-  const double draw =
-      rng.lognormal(config_.duration_log_mean, config_.duration_log_sd);
-  return std::clamp(draw, config_.min_duration, config_.max_duration);
-}
-
 double DemandModel::expected_arrivals(double horizon_seconds) const noexcept {
   // arrival_rate is linear within each hour, so the trapezoid over hour
   // segments is the exact integral (weekend jumps land on segment

@@ -7,6 +7,7 @@
 // log-normal.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -46,12 +47,23 @@ class DemandModel {
 
   /// Draw the number of arrivals in [t, t+dt). `rate_scale` multiplies
   /// the diurnal rate (flash-crowd fault windows); the default 1.0 is an
-  /// exact multiply, leaving the no-fault draw bit-identical.
-  std::uint64_t draw_arrivals(double t, double dt, stats::Rng& rng,
-                              double rate_scale = 1.0) const;
+  /// exact multiply, leaving the no-fault draw bit-identical. Templated
+  /// over the generator so the cluster's block-buffered BatchedRng and
+  /// the plain Rng share one definition (their draw sequences are
+  /// bit-identical by the BatchedRng contract).
+  template <typename RngT>
+  std::uint64_t draw_arrivals(double t, double dt, RngT& rng,
+                              double rate_scale = 1.0) const {
+    return rng.poisson(arrival_rate(t) * rate_scale * dt);
+  }
 
   /// Draw a viewing duration (seconds).
-  double draw_duration(stats::Rng& rng) const;
+  template <typename RngT>
+  double draw_duration(RngT& rng) const {
+    const double draw =
+        rng.lognormal(config_.duration_log_mean, config_.duration_log_sd);
+    return std::clamp(draw, config_.min_duration, config_.max_duration);
+  }
 
   /// Expected number of arrivals over [0, horizon_seconds): the exact
   /// integral of the piecewise-linear diurnal rate. Sizes the cluster's

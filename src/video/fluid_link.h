@@ -67,6 +67,18 @@ class FluidLink {
                             double desired_load_bps, double dt,
                             std::vector<double>& alloc);
 
+  /// Presummed hot-path form: callers that already swept the demand array
+  /// (the pool's gather pass) hand over the positive-demand sum and count
+  /// so the water-fill skips its own first pass. Requires non-negative
+  /// demands (`demand_sum_bps` is then their plain sum). Returns the
+  /// grant span: `demands` itself when the link is undersubscribed
+  /// (grants == demands, no copy), `alloc` after a water-fill otherwise —
+  /// consume the return value, not `alloc`.
+  std::span<const double> allocate_and_advance(
+      std::span<const double> demands, double desired_load_bps,
+      double demand_sum_bps, std::size_t demand_positive, double dt,
+      std::vector<double>& alloc);
+
   /// Convenience form returning a fresh vector (tests, one-off callers).
   std::vector<double> allocate_and_advance(std::span<const double> demands,
                                            double desired_load_bps,
@@ -110,6 +122,11 @@ class FluidLink {
   }
 
  private:
+  /// Shared tail of both allocate_and_advance forms: utilization +
+  /// standing-queue relaxation.
+  void advance_queue(double delivered, double cap, double desired_load_bps,
+                     double dt) noexcept;
+
   FluidLinkConfig config_;
   double capacity_factor_ = 1.0;
   double queue_bytes_ = 0.0;
@@ -117,6 +134,9 @@ class FluidLink {
   double rho_ = 0.0;
   /// Water-filling sort scratch, reused across ticks.
   std::vector<std::uint32_t> order_scratch_;
+  /// Water-level refinement scratch (above-level survivors), reused across
+  /// ticks so oversubscribed peak-hour ticks stay allocation-free.
+  std::vector<double> refine_scratch_;
 };
 
 /// Standalone max-min fair share computation (water-filling).
@@ -125,13 +145,29 @@ std::vector<double> max_min_fair_allocation(std::span<const double> demands,
                                             double capacity);
 
 /// Allocation-free water-filling: writes grants into `alloc` (caller sizes
-/// it to demands.size()) using `order_scratch` for the sort, and returns
-/// the total granted rate (summed in index order). Zero and negative
-/// demands are granted 0 without entering the sort, and when the positive
-/// demands fit under `capacity` the sort is skipped entirely — off-peak
-/// hours never pay the O(n log n).
+/// it to demands.size()) and returns the total granted rate (fixed 4-lane
+/// summation order). Zero and negative demands are granted 0. Every pass
+/// is a dense branch-free sweep over the full demand array — the water
+/// level is refined by re-scanning rather than compacting an index list,
+/// which keeps the loops vectorizable; `order_scratch` is unused but kept
+/// so callers' reusable-scratch plumbing stays source-compatible.
 double max_min_fair_allocation_into(std::span<const double> demands,
                                     double capacity, std::span<double> alloc,
                                     std::vector<std::uint32_t>& order_scratch);
+
+/// As above, but the caller supplies the positive-demand sum and count
+/// (typically fused into its own sweep that produced `demands`), skipping
+/// the allocator's first pass. `positive_sum` must equal the sum of
+/// max(d, 0) over `demands` up to summation order; `positive_count` must
+/// be exact. `refine_scratch` is resized to demands.size() when the link
+/// is oversubscribed and holds the above-level survivors between
+/// refinement rounds — pass a vector reused across calls to keep the hot
+/// path allocation-free.
+double max_min_fair_allocation_presummed(std::span<const double> demands,
+                                         double positive_sum,
+                                         std::size_t positive_count,
+                                         double capacity,
+                                         std::span<double> alloc,
+                                         std::vector<double>& refine_scratch);
 
 }  // namespace xp::video

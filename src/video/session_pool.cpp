@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace xp::video {
@@ -47,6 +48,62 @@ SessionPool::SessionPool(const SessionParams& params,
     track_rate_ |= policy.kind == AbrKind::kRate;
   }
   rate_alpha_.assign(policies_.size(), 0.0);
+  // Partition buckets: (playing | startup | rebuffering) x policy, then
+  // one done bucket at the physical tail.
+  const std::size_t buckets = 3 * policies_.size() + 1;
+  bucket_count_.assign(buckets, 0);
+  bucket_begin_.assign(buckets + 1, 0);
+  bucket_cursor_.assign(buckets, 0);
+}
+
+std::size_t SessionPool::bucket_of(std::size_t i) const noexcept {
+  // Physical bucket order puts playing (the hottest state) first; kRank
+  // remaps the enum's startup-first declaration order.
+  static constexpr std::uint8_t kRank[4] = {1, 0, 2, 3};
+  const auto r = kRank[static_cast<std::uint8_t>(state_[i])];
+  const std::size_t policies = policies_.size();
+  return r == 3 ? 3 * policies
+                : static_cast<std::size_t>(r) * policies + policy_[i];
+}
+
+void SessionPool::set_state(std::size_t i, SessionState to) noexcept {
+  --bucket_count_[bucket_of(i)];
+  state_[i] = to;
+  ++bucket_count_[bucket_of(i)];
+  partition_dirty_ = true;
+}
+
+void SessionPool::repartition() {
+  if (!partition_dirty_) return;
+  const std::size_t buckets = bucket_count_.size();
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    bucket_begin_[b] = acc;
+    bucket_cursor_[b] = acc;
+    acc += bucket_count_[b];
+  }
+  bucket_begin_[buckets] = acc;
+  // American-flag pass: scan each bucket's target range; every misplaced
+  // slot is swapped with a misplaced position inside its own target
+  // bucket (which must exist, since the counts match). Cost: one byte
+  // scan of the pool plus one full-slot swap per out-of-place session —
+  // transitions are rare next to slot-ticks, so this is the cheap side
+  // of the branch-free-hot-loop trade.
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t end = bucket_begin_[b + 1];
+    std::size_t& c = bucket_cursor_[b];
+    while (c < end) {
+      const std::size_t target = bucket_of(c);
+      if (target == b) {
+        ++c;
+        continue;
+      }
+      std::size_t& t = bucket_cursor_[target];
+      while (bucket_of(t) == target) ++t;
+      swap_slots(c, t);
+    }
+  }
+  partition_dirty_ = false;
 }
 
 void SessionPool::reserve(std::size_t sessions) {
@@ -63,6 +120,7 @@ void SessionPool::reserve(std::size_t sessions) {
   access_rate_bps_.reserve(sessions);
   sustained_cap_.reserve(sessions);
   rungs_.reserve(sessions);
+  rung_quality_.reserve(sessions);
   rung_top_index_.reserve(sessions);
   policy_.reserve(sessions);
   ewma_rate_.reserve(sessions);
@@ -81,6 +139,8 @@ void SessionPool::reserve(std::size_t sessions) {
   played_marker_.reserve(sessions);
   bitrate_time_integral_.reserve(sessions);
   quality_time_integral_.reserve(sessions);
+  good_bytes_.reserve(sessions);
+  abr_index_.reserve(sessions);
 }
 
 std::size_t SessionPool::add(const Arrival& arrival) {
@@ -117,6 +177,7 @@ std::size_t SessionPool::add(const Arrival& arrival) {
       std::min(arrival.access_rate_bps, arrival.ladder->highest() * 1.10));
   const std::span<const double> rungs = arrival.ladder->rungs();
   rungs_.push_back(rungs.data());
+  rung_quality_.push_back(arrival.ladder->rung_quality().data());
   rung_top_index_.push_back(static_cast<double>(rungs.size() - 1));
   policy_.push_back(arrival.policy);
   // Optimistic first throughput estimate: the access link, refined by the
@@ -137,86 +198,222 @@ std::size_t SessionPool::add(const Arrival& arrival) {
   played_marker_.push_back(0.0);
   bitrate_time_integral_.push_back(0.0);
   quality_time_integral_.push_back(0.0);
+  // New arrivals are appended past the physical partition and folded into
+  // their startup bucket by the next tick pass's repartition().
+  ++bucket_count_[policies_.size() + arrival.policy];
+  partition_dirty_ = true;
   return i;
 }
 
+namespace {
+
+// The fused demand-gather pass, hoisted into a free function: four
+// distinct arrays feed the loops, and only restrict-qualified
+// *parameters* (GCC ignores the qualifier on locals) spare the vectorizer
+// the runtime alias versioning it refuses past its check budget. The
+// demand sum and positive count the water-fill allocator seeds from, and
+// the desired-load cap sum, all ride in the same sweeps: four independent
+// accumulator lanes each (fixed order, deterministic), with counts in
+// double lanes (exact far past any pool size) so each loop stays one
+// homogeneous SIMD block.
+[[gnu::noinline]] void gather_demand_pass(
+    const double* __restrict buf, const double* __restrict access,
+    const double* __restrict cap, double* __restrict out,
+    std::size_t playing_end, std::size_t alive_end, double chunk,
+    double max_buffer, double& demand_sum, double& demand_positive,
+    double& desired_load) noexcept {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  // On-off chunked demand over the dense playing range: fetch at access
+  // speed while there is room for another chunk, idle otherwise. The
+  // access-rate load is hoisted so the select has no conditional load --
+  // SSE2 has no masked loads, and the vectorizer rejects the fused form.
+  std::size_t i = 0;
+  // vec-check: gather-playing
+  for (; i + 4 <= playing_end; i += 4) {
+    const double r0 = access[i];
+    const double r1 = access[i + 1];
+    const double r2 = access[i + 2];
+    const double r3 = access[i + 3];
+    const double d0 = buf[i] + chunk <= max_buffer ? r0 : 0.0;
+    const double d1 = buf[i + 1] + chunk <= max_buffer ? r1 : 0.0;
+    const double d2 = buf[i + 2] + chunk <= max_buffer ? r2 : 0.0;
+    const double d3 = buf[i + 3] + chunk <= max_buffer ? r3 : 0.0;
+    out[i] = d0;
+    out[i + 1] = d1;
+    out[i + 2] = d2;
+    out[i + 3] = d3;
+    s0 += d0;
+    s1 += d1;
+    s2 += d2;
+    s3 += d3;
+    c0 += d0 > 0.0 ? 1.0 : 0.0;
+    c1 += d1 > 0.0 ? 1.0 : 0.0;
+    c2 += d2 > 0.0 ? 1.0 : 0.0;
+    c3 += d3 > 0.0 ? 1.0 : 0.0;
+    l0 += cap[i];
+    l1 += cap[i + 1];
+    l2 += cap[i + 2];
+    l3 += cap[i + 3];
+  }
+  for (; i < playing_end; ++i) {
+    const double r = access[i];
+    const double d = buf[i] + chunk <= max_buffer ? r : 0.0;
+    out[i] = d;
+    s0 += d;
+    c0 += d > 0.0 ? 1.0 : 0.0;
+    l0 += cap[i];
+  }
+  // Startup and rebuffering sessions always fetch at access speed; done
+  // slots (transient, between advance and retire) demand nothing. This
+  // segment is left as a plain sequential loop on purpose: it is mostly a
+  // copy, and GCC vectorizes the memory traffic while keeping the sums as
+  // exact in-order fold-left reductions. (The manual 4-lane form used
+  // above trips a vectorizer limitation here -- a raw load feeding both a
+  // store and a reduction gets "no vectype" -- and SLP-only stores are
+  // slower than the vectorized copy.)
+  // vec-check: gather-startup
+  for (std::size_t j = playing_end; j < alive_end; ++j) {
+    const double d = access[j];
+    out[j] = d;
+    s0 += d;
+    c0 += d > 0.0 ? 1.0 : 0.0;
+    l0 += cap[j];
+  }
+  demand_sum = (s0 + s1) + (s2 + s3);
+  demand_positive = (c0 + c1) + (c2 + c3);
+  desired_load = (l0 + l1) + (l2 + l3);
+}
+
+}  // namespace
+
 void SessionPool::gather_demand(std::vector<double>& demands,
-                                double& desired_load_bps) const {
+                                DemandTotals& totals) {
+  repartition();
   const std::size_t n = state_.size();
   demands.resize(n);
-  const double chunk = params_.chunk_seconds;
-  const double max_buffer = params_.max_buffer_seconds;
-  double desired = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    // Inlined demand(i)/sustained_load(i), branch-light: the common case
-    // is a playing session near its buffer ceiling (idle) or fetching at
-    // access speed; kDone slots only exist transiently between advance
-    // and retire, never at gather time.
-    const SessionState s = state_[i];
-    double d = access_rate_bps_[i];
-    double cap = sustained_cap_[i];
-    if (s == SessionState::kPlaying) {
-      if (!(buffer_seconds_[i] + chunk <= max_buffer)) d = 0.0;
-    } else if (s == SessionState::kDone) {
-      d = 0.0;
-      cap = 0.0;
-    }
-    demands[i] = d;
-    desired += cap;
+  const std::size_t policies = policies_.size();
+  const std::size_t playing_end = bucket_begin_[policies];
+  const std::size_t alive_end = bucket_begin_[3 * policies];
+  double positive = 0.0;
+  gather_demand_pass(buffer_seconds_.data(), access_rate_bps_.data(),
+                     sustained_cap_.data(), demands.data(), playing_end,
+                     alive_end, params_.chunk_seconds,
+                     params_.max_buffer_seconds, totals.demand_sum_bps,
+                     positive, totals.desired_load_bps);
+  totals.demand_positive = static_cast<std::size_t>(positive);
+  std::fill(demands.data() + alive_end, demands.data() + n, 0.0);
+}
+
+namespace {
+
+// Phase B of advance_all, hoisted into a free function: eight distinct
+// arrays feed the loop, and only restrict-qualified *parameters* (GCC
+// ignores the qualifier on locals) spare the vectorizer the quadratic
+// runtime alias versioning it refuses to emit past ~10 checks. noinline
+// keeps the restrict tags from being discarded by inlining; one call per
+// tick is noise.
+[[gnu::noinline]] void playing_telemetry_pass(
+    const double* __restrict grant, const double* __restrict buf,
+    const double* __restrict bps, double* __restrict good,
+    double* __restrict delivered, double* __restrict retx,
+    double* __restrict hungry_b, double* __restrict hungry_s,
+    double* __restrict clock, double* __restrict mrtt,
+    std::size_t playing_end, double dt, double loss, double fixed_retx,
+    double max_buffer, double half_buffer, double rtt) noexcept {
+  // Loss consumes goodput: of the granted rate, a `loss` fraction is
+  // spent on retransmissions, plus a fixed recovery overhead per played
+  // second. Idle sessions (zero grant — the buffer-full steady state)
+  // contribute exact 0.0 terms, so the selects below replace the old
+  // per-slot branches without changing a single accumulator bit.
+  // vec-check: playing-telemetry
+  for (std::size_t i = 0; i < playing_end; ++i) {
+    clock[i] += dt;
+    mrtt[i] = std::min(mrtt[i], rtt);
+    const double rate = grant[i];
+    const double wire = rate * dt / 8.0;
+    const double g = wire * (1.0 - loss);
+    good[i] = g;
+    delivered[i] += g;
+    retx[i] += wire * loss;
+    retx[i] += fixed_retx;
+    // Throughput telemetry counts only the fraction of the tick the
+    // session could actually use (a chunk completing mid-tick must not
+    // dilute the measured rate), and drops trickle ticks near the buffer
+    // ceiling entirely. The quotient is garbage for idle slots (+inf,
+    // never NaN: room > 0); the selects discard it — exactly the old
+    // branch, as two double-armed selects so the whole body if-converts.
+    const double room = (max_buffer - buf[i] + dt) * bps[i] / 8.0;
+    const double capped = std::min(std::max(room / g, 0.0), 1.0);
+    double uf = buf[i] <= half_buffer ? capped : 0.0;
+    uf = rate > 0.0 ? uf : 0.0;
+    hungry_b[i] += wire * uf;
+    hungry_s[i] += dt * uf;
   }
-  desired_load_bps = desired;
+}
+
+}  // namespace
+
+void SessionPool::apply_bitrate_switch(std::size_t i, double next,
+                                       double quality) noexcept {
+  ++switches_[i];
+  // Close the constant-bitrate segment: the integrals advance only here
+  // and at finalize, never per tick.
+  const double segment = played_seconds_[i] - played_marker_[i];
+  if (segment > 0.0) {
+    bitrate_time_integral_[i] += bitrate_[i] * segment;
+    quality_time_integral_[i] += quality_[i] * segment;
+    played_marker_[i] = played_seconds_[i];
+  }
+  bitrate_[i] = next;
+  // Bitrates only take ladder-rung values, so the caller hands over the
+  // ladder's cached per-rung score — no log() anywhere in the tick.
+  quality_[i] = quality;
 }
 
 void SessionPool::select_bitrate(std::size_t i) noexcept {
-  // Policy dispatch: one byte-indexed table load + a switch on a one-byte
-  // kind. Single-policy pools (and the default cluster, where both arms
-  // are hybrid) always take the same arm, so the branch predictor eats it.
+  // Scalar policy dispatch, kept for the rare off-the-fast-path selects
+  // (the rebuffer re-select); the playing pass dispatches per policy
+  // sub-batch instead, never per slot.
   const AbrPolicy& policy = policies_[policy_[i]];
-  double next;
+  std::size_t k;
   switch (policy.kind) {
     case AbrKind::kHybrid:
-      next = abr_select_rungs(rungs_[i], rung_top_index_[i], policy.config,
-                              buffer_seconds_[i]);
+      k = abr_select_index_rungs(rung_top_index_[i], policy.config,
+                                 buffer_seconds_[i]);
       break;
     case AbrKind::kBufferBased:
-      next = bba_select_rungs(rungs_[i], rung_top_index_[i], policy.config,
-                              buffer_seconds_[i]);
+      k = bba_select_index_rungs(rungs_[i], rung_top_index_[i],
+                                 policy.config, buffer_seconds_[i]);
       break;
     case AbrKind::kRate:
-      next = rate_select_rungs(rungs_[i], rung_top_index_[i],
-                               policy.rate_safety * ewma_rate_[i]);
+      k = rate_select_index_rungs(rungs_[i], rung_top_index_[i],
+                                  policy.rate_safety * ewma_rate_[i]);
       break;
     default:
-      next = bitrate_[i];
-      break;
+      return;
   }
+  const double next = rungs_[i][k];
   if (next != bitrate_[i]) {
-    ++switches_[i];
-    // Close the constant-bitrate segment: the integrals advance only
-    // here and at finalize, never per tick.
-    const double segment = played_seconds_[i] - played_marker_[i];
-    if (segment > 0.0) {
-      bitrate_time_integral_[i] += bitrate_[i] * segment;
-      quality_time_integral_[i] += quality_[i] * segment;
-      played_marker_[i] = played_seconds_[i];
-    }
-    bitrate_[i] = next;
-    // Bitrates only take ladder-rung values, so caching the quality score
-    // on change replaces a log() per playing session per tick.
-    quality_[i] = perceptual_quality(next);
+    apply_bitrate_switch(i, next, rung_quality_[i][k]);
   }
 }
 
 void SessionPool::advance_all(double dt, std::span<const double> alloc,
                               double rtt, double loss,
                               StallSampler* stalls) {
+  // No-op when gather_demand just ran; restores the partition for callers
+  // that add() and advance directly (the pool-of-one Session wrapper).
+  repartition();
   const std::size_t n = state_.size();
-  const double half_buffer = 0.5 * params_.max_buffer_seconds;
+  const std::size_t policies = policies_.size();
+  const double max_buffer = params_.max_buffer_seconds;
+  const double half_buffer = 0.5 * max_buffer;
   const double fixed_retx = params_.fixed_retx_bytes_per_play_second * dt;
   const double request_latency = 2.0 * rtt;
-  const bool sample_stalls = stalls != nullptr && stalls->enabled();
   if (track_rate_) {
-    for (std::size_t p = 0; p < policies_.size(); ++p) {
+    for (std::size_t p = 0; p < policies; ++p) {
       rate_alpha_[p] = dt / (policies_[p].rate_tau_seconds + dt);
     }
   }
@@ -230,117 +427,212 @@ void SessionPool::advance_all(double dt, std::span<const double> alloc,
     rtt_ticks_ref_[i] = cum_rtt_ticks_ - rtt_ticks_ref_[i];
   };
 
-  for (std::size_t i = 0; i < n; ++i) {
-    if (state_[i] == SessionState::kDone) continue;
-    clock_[i] += dt;
+  // Region boundaries for this tick; transitions below only rewrite state
+  // bytes (and bucket counts), the physical reorder happens once at the
+  // end. Every phase therefore sees a stable slot order, and `alloc`
+  // stays aligned with the order gather_demand published.
+  const std::size_t playing_end = bucket_begin_[policies];
+  const std::size_t startup_end = bucket_begin_[2 * policies];
+  const std::size_t alive_end = bucket_begin_[3 * policies];
+  good_bytes_.resize(n);
+  abr_index_.resize(n);
 
-    // Telemetry common to all states. Loss consumes goodput: of the
-    // granted rate, a `loss` fraction is spent on retransmissions, plus a
-    // small fixed recovery overhead while actively downloading. Idle
-    // sessions (zero grant — the buffer-full steady state) skip the
-    // read-modify-writes entirely; every skipped term is exactly 0.0.
-    const double rate_bps = alloc[i];
-    const bool downloading = rate_bps > 0.0;
-    double good_bytes = 0.0;
-    if (downloading) {
-      const double wire_bytes = rate_bps * dt / 8.0;
-      good_bytes = wire_bytes * (1.0 - loss);
-      delivered_bytes_[i] += good_bytes;
-      retransmitted_bytes_[i] += wire_bytes * loss;
-      // Throughput telemetry counts only the fraction of the tick the
-      // session could actually use: a chunk that completes mid-tick must
-      // not dilute the measured rate (capped sessions fetch smaller
-      // chunks, so uncorrected dilution would bias their throughput low).
-      double used_fraction = 1.0;
-      if (state_[i] == SessionState::kPlaying && good_bytes > 0.0 &&
-          bitrate_[i] > 0.0) {
-        // Near the buffer ceiling the client is not network-limited at
-        // all; exclude those trickle ticks entirely (clients report
-        // throughput from full-speed chunk downloads only).
-        if (buffer_seconds_[i] > half_buffer) {
-          used_fraction = 0.0;
-        } else {
-          const double room_bytes =
-              (params_.max_buffer_seconds - buffer_seconds_[i] + dt) *
-              bitrate_[i] / 8.0;
-          used_fraction = std::clamp(room_bytes / good_bytes, 0.0, 1.0);
-        }
-      }
-      hungry_bytes_[i] += wire_bytes * used_fraction;
-      hungry_seconds_[i] += dt * used_fraction;
-      // Rate-based ABR input: smooth the granted rate while downloading
-      // (idle buffer-full ticks keep the last estimate, like real
-      // clients, whose throughput samples come from chunk downloads).
-      if (track_rate_) {
-        ewma_rate_[i] += rate_alpha_[policy_[i]] * (rate_bps - ewma_rate_[i]);
-      }
-    }
-    if (state_[i] == SessionState::kPlaying) {
-      retransmitted_bytes_[i] += fixed_retx;
-    }
-    min_rtt_[i] = std::min(min_rtt_[i], rtt);
-
-    switch (state_[i]) {
-      case SessionState::kStartup: {
-        const double before = startup_bytes_left_[i];
-        startup_bytes_left_[i] -= good_bytes;
-        if (startup_bytes_left_[i] <= 0.0) {
-          // Interpolate the completion instant within the tick, and add
-          // the request latency (handshake + chunk request) of two RTTs.
-          const double frac = good_bytes > 0.0 ? before / good_bytes : 1.0;
-          play_delay_[i] =
-              clock_[i] - dt + dt * std::min(frac, 1.0) + request_latency;
-          buffer_seconds_[i] = params_.startup_chunk_seconds;
-          state_[i] = SessionState::kPlaying;
-        } else if (clock_[i] >= patience_[i]) {
-          play_delay_[i] = clock_[i];
-          cancelled_[i] = 1;
-          state_[i] = SessionState::kDone;
-          freeze_rtt(i);
-        }
-        break;
-      }
-      case SessionState::kPlaying: {
-        select_bitrate(i);
-        const double video_seconds_downloaded =
-            good_bytes * 8.0 / bitrate_[i];
-        buffer_seconds_[i] += video_seconds_downloaded;
-        buffer_seconds_[i] =
-            std::min(buffer_seconds_[i], params_.max_buffer_seconds);
-        buffer_seconds_[i] -= dt;  // playback consumes real time
-        played_seconds_[i] += dt;
-        if (played_seconds_[i] >= duration_[i]) {
-          state_[i] = SessionState::kDone;
-          freeze_rtt(i);
-        } else if (buffer_seconds_[i] <= 0.0) {
-          buffer_seconds_[i] = 0.0;
-          ++rebuffer_count_[i];
-          state_[i] = SessionState::kRebuffering;
-          select_bitrate(i);  // ABR drops to the reservoir rate
-        }
-        break;
-      }
-      case SessionState::kRebuffering: {
-        rebuffer_seconds_[i] += dt;
-        buffer_seconds_[i] += good_bytes * 8.0 / bitrate_[i];
-        if (buffer_seconds_[i] >= params_.rebuffer_resume_seconds) {
-          state_[i] = SessionState::kPlaying;
-        }
-        break;
-      }
-      case SessionState::kDone:
-        break;
-    }
-
-    // Spurious (content-driven) stalls: one skip-sampling trial per
-    // session that ends the tick playing — the same post-advance
-    // Bernoulli the old loop paid a uniform draw for.
-    if (sample_stalls && state_[i] == SessionState::kPlaying &&
-        stalls->step()) {
-      ++rebuffer_count_[i];
-      rebuffer_seconds_[i] += stalls->draw_stall_seconds();
+  // --- Phase A: wall clock + RTT floor for the non-playing alive tail
+  // (the playing range gets the same update fused into Phase B below —
+  // one pass fewer over the hottest rows).
+  {
+    double* clock = clock_.data();
+    double* mrtt = min_rtt_.data();
+    // vec-check: alive-clock-rtt
+    for (std::size_t i = playing_end; i < alive_end; ++i) {
+      clock[i] += dt;
+      mrtt[i] = std::min(mrtt[i], rtt);
     }
   }
+
+  // --- Phase B: playing telemetry, branch-free over the dense range ---
+  playing_telemetry_pass(alloc.data(), buffer_seconds_.data(),
+                         bitrate_.data(), good_bytes_.data(),
+                         delivered_bytes_.data(), retransmitted_bytes_.data(),
+                         hungry_bytes_.data(), hungry_seconds_.data(),
+                         clock_.data(), min_rtt_.data(), playing_end, dt,
+                         loss, fixed_retx, max_buffer, half_buffer, rtt);
+  // Rate-based ABR input: smooth the granted rate while downloading
+  // (idle ticks keep the last estimate, like real clients). Per-policy
+  // sub-ranges make the EWMA coefficient a loop constant.
+  if (track_rate_) {
+    const double* grant = alloc.data();
+    double* ewma = ewma_rate_.data();
+    for (std::size_t p = 0; p < policies; ++p) {
+      const double alpha = rate_alpha_[p];
+      const std::size_t end = bucket_begin_[p + 1];
+      // vec-check: playing-ewma
+      for (std::size_t i = bucket_begin_[p]; i < end; ++i) {
+        const double g = grant[i];
+        const double e = ewma[i];
+        const double smoothed = e + alpha * (g - e);
+        ewma[i] = g > 0.0 ? smoothed : e;
+      }
+    }
+  }
+
+  // --- Phase C: bitrate selection, one tight loop per policy ----------
+  for (std::size_t p = 0; p < policies; ++p) {
+    const std::size_t begin = bucket_begin_[p];
+    const std::size_t end = bucket_begin_[p + 1];
+    if (begin == end) continue;
+    const AbrPolicy& policy = policies_[p];
+    switch (policy.kind) {
+      case AbrKind::kHybrid: {
+        // The buffer-to-index map is pure arithmetic (the reservoir
+        // early-out folds into the clamp: buffer <= reservoir gives
+        // t = 0 and rung 0, bit-identical to abr_select_rungs), so it
+        // vectorizes; the rung load is a per-slot pointer gather, which
+        // baseline SIMD has no instruction for, so it stays a scalar
+        // loop fused with the rare switch bookkeeping.
+        const double reservoir = policy.config.reservoir_seconds;
+        const double cushion = policy.config.cushion_seconds;
+        const double* buf = buffer_seconds_.data();
+        const double* top = rung_top_index_.data();
+        std::int32_t* idx = abr_index_.data();
+        // vec-check: abr-hybrid-index
+        for (std::size_t i = begin; i < end; ++i) {
+          double t = (buf[i] - reservoir) / cushion;
+          t = std::min(std::max(t, 0.0), 1.0);
+          idx[i] = static_cast<std::int32_t>(t * top[i]);
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto k = static_cast<std::size_t>(abr_index_[i]);
+          const double next = rungs_[i][k];
+          if (next != bitrate_[i]) {
+            apply_bitrate_switch(i, next, rung_quality_[i][k]);
+          }
+        }
+        break;
+      }
+      case AbrKind::kBufferBased:
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t k = bba_select_index_rungs(
+              rungs_[i], rung_top_index_[i], policy.config,
+              buffer_seconds_[i]);
+          const double next = rungs_[i][k];
+          if (next != bitrate_[i]) {
+            apply_bitrate_switch(i, next, rung_quality_[i][k]);
+          }
+        }
+        break;
+      case AbrKind::kRate:
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t k =
+              rate_select_index_rungs(rungs_[i], rung_top_index_[i],
+                                      policy.rate_safety * ewma_rate_[i]);
+          const double next = rungs_[i][k];
+          if (next != bitrate_[i]) {
+            apply_bitrate_switch(i, next, rung_quality_[i][k]);
+          }
+        }
+        break;
+    }
+  }
+
+  // --- Phase D: buffer integration + playback over the playing range --
+  {
+    const double* good = good_bytes_.data();
+    const double* bps = bitrate_.data();
+    double* buf = buffer_seconds_.data();
+    double* played = played_seconds_.data();
+    // vec-check: playing-buffer
+    for (std::size_t i = 0; i < playing_end; ++i) {
+      double level = buf[i] + good[i] * 8.0 / bps[i];
+      level = std::min(level, max_buffer);
+      buf[i] = level - dt;  // playback consumes real time
+      played[i] += dt;
+    }
+  }
+
+  // --- Phase E: playing transitions (rare, predictable branches) ------
+  for (std::size_t i = 0; i < playing_end; ++i) {
+    if (played_seconds_[i] >= duration_[i]) {
+      set_state(i, SessionState::kDone);
+      freeze_rtt(i);
+    } else if (buffer_seconds_[i] <= 0.0) {
+      buffer_seconds_[i] = 0.0;
+      ++rebuffer_count_[i];
+      set_state(i, SessionState::kRebuffering);
+      select_bitrate(i);  // ABR drops to the reservoir rate
+    }
+  }
+
+  // --- Phase F: startup sessions (few at any instant; scalar) ---------
+  for (std::size_t i = playing_end; i < startup_end; ++i) {
+    const double rate = alloc[i];
+    double good = 0.0;
+    if (rate > 0.0) {
+      const double wire = rate * dt / 8.0;
+      good = wire * (1.0 - loss);
+      delivered_bytes_[i] += good;
+      retransmitted_bytes_[i] += wire * loss;
+      hungry_bytes_[i] += wire;
+      hungry_seconds_[i] += dt;
+      if (track_rate_) {
+        ewma_rate_[i] += rate_alpha_[policy_[i]] * (rate - ewma_rate_[i]);
+      }
+    }
+    const double before = startup_bytes_left_[i];
+    startup_bytes_left_[i] -= good;
+    if (startup_bytes_left_[i] <= 0.0) {
+      // Interpolate the completion instant within the tick, and add the
+      // request latency (handshake + chunk request) of two RTTs.
+      const double frac = good > 0.0 ? before / good : 1.0;
+      play_delay_[i] =
+          clock_[i] - dt + dt * std::min(frac, 1.0) + request_latency;
+      buffer_seconds_[i] = params_.startup_chunk_seconds;
+      set_state(i, SessionState::kPlaying);
+    } else if (clock_[i] >= patience_[i]) {
+      play_delay_[i] = clock_[i];
+      cancelled_[i] = 1;
+      set_state(i, SessionState::kDone);
+      freeze_rtt(i);
+    }
+  }
+
+  // --- Phase G: rebuffering sessions (few at any instant; scalar) -----
+  for (std::size_t i = startup_end; i < alive_end; ++i) {
+    const double rate = alloc[i];
+    double good = 0.0;
+    if (rate > 0.0) {
+      const double wire = rate * dt / 8.0;
+      good = wire * (1.0 - loss);
+      delivered_bytes_[i] += good;
+      retransmitted_bytes_[i] += wire * loss;
+      hungry_bytes_[i] += wire;
+      hungry_seconds_[i] += dt;
+      if (track_rate_) {
+        ewma_rate_[i] += rate_alpha_[policy_[i]] * (rate - ewma_rate_[i]);
+      }
+    }
+    rebuffer_seconds_[i] += dt;
+    buffer_seconds_[i] += good * 8.0 / bitrate_[i];
+    if (buffer_seconds_[i] >= params_.rebuffer_resume_seconds) {
+      set_state(i, SessionState::kPlaying);
+    }
+  }
+
+  // Restore the physical partition, then thin spurious (content-driven)
+  // stalls over the now-dense playing range: the skip-sampler jumps
+  // straight to firing trial indices, so the cost is O(fires) instead of
+  // one trial decrement per playing session. Trial order is partitioned
+  // slot order — deterministic, like every pass above.
+  repartition();
+  if (stalls != nullptr && stalls->enabled()) {
+    stalls->step_block(bucket_begin_[policies], [&](std::uint64_t k) {
+      ++rebuffer_count_[k];
+      rebuffer_seconds_[k] += stalls->draw_stall_seconds();
+    });
+  }
+#ifndef NDEBUG
+  check_invariants();
+#endif
 }
 
 void SessionPool::inject_spurious_rebuffer(std::size_t i,
@@ -410,15 +702,17 @@ SessionRecord SessionPool::finalize(std::size_t i) const {
 
 void SessionPool::retire_finished(std::vector<SessionRecord>& out,
                                   std::uint64_t& completed) {
-  for (std::size_t i = 0; i < state_.size();) {
-    if (state_[i] == SessionState::kDone) {
-      out.push_back(finalize(i));
-      ++completed;
-      swap_remove(i);
-    } else {
-      ++i;
-    }
+  // Done sessions live in the tail bucket, so retirement is a finalize
+  // sweep over a dense suffix plus one truncation — no per-slot
+  // swap-erase holes, and surviving slot order is untouched.
+  repartition();
+  const std::size_t alive_end = bucket_begin_[3 * policies_.size()];
+  const std::size_t n = state_.size();
+  for (std::size_t i = alive_end; i < n; ++i) {
+    out.push_back(finalize(i));
+    ++completed;
   }
+  truncate(alive_end);
 }
 
 void SessionPool::flush_all(std::vector<SessionRecord>& out) const {
@@ -427,42 +721,161 @@ void SessionPool::flush_all(std::vector<SessionRecord>& out) const {
   }
 }
 
-void SessionPool::swap_remove(std::size_t i) {
-  const auto move_back = [i](auto& arr) {
-    arr[i] = arr.back();
-    arr.pop_back();
+void SessionPool::swap_slots(std::size_t a, std::size_t b) noexcept {
+  const auto sw = [a, b](auto& arr) {
+    using std::swap;
+    swap(arr[a], arr[b]);
   };
-  move_back(identity_);
-  move_back(state_);
-  move_back(clock_);
-  move_back(buffer_seconds_);
-  move_back(bitrate_);
-  move_back(quality_);
-  move_back(startup_bytes_left_);
-  move_back(played_seconds_);
-  move_back(duration_);
-  move_back(patience_);
-  move_back(access_rate_bps_);
-  move_back(sustained_cap_);
-  move_back(rungs_);
-  move_back(rung_top_index_);
-  move_back(policy_);
-  move_back(ewma_rate_);
-  move_back(delivered_bytes_);
-  move_back(retransmitted_bytes_);
-  move_back(hungry_bytes_);
-  move_back(hungry_seconds_);
-  move_back(min_rtt_);
-  move_back(play_delay_);
-  move_back(rebuffer_seconds_);
-  move_back(rebuffer_count_);
-  move_back(switches_);
-  move_back(cancelled_);
-  move_back(rtt_sum_ref_);
-  move_back(rtt_ticks_ref_);
-  move_back(played_marker_);
-  move_back(bitrate_time_integral_);
-  move_back(quality_time_integral_);
+  sw(identity_);
+  sw(state_);
+  sw(clock_);
+  sw(buffer_seconds_);
+  sw(bitrate_);
+  sw(quality_);
+  sw(startup_bytes_left_);
+  sw(played_seconds_);
+  sw(duration_);
+  sw(patience_);
+  sw(access_rate_bps_);
+  sw(sustained_cap_);
+  sw(rungs_);
+  sw(rung_quality_);
+  sw(rung_top_index_);
+  sw(policy_);
+  sw(ewma_rate_);
+  sw(delivered_bytes_);
+  sw(retransmitted_bytes_);
+  sw(hungry_bytes_);
+  sw(hungry_seconds_);
+  sw(min_rtt_);
+  sw(play_delay_);
+  sw(rebuffer_seconds_);
+  sw(rebuffer_count_);
+  sw(switches_);
+  sw(cancelled_);
+  sw(rtt_sum_ref_);
+  sw(rtt_ticks_ref_);
+  sw(played_marker_);
+  sw(bitrate_time_integral_);
+  sw(quality_time_integral_);
+}
+
+void SessionPool::truncate(std::size_t new_size) {
+  const auto cut = [new_size](auto& arr) { arr.resize(new_size); };
+  cut(identity_);
+  cut(state_);
+  cut(clock_);
+  cut(buffer_seconds_);
+  cut(bitrate_);
+  cut(quality_);
+  cut(startup_bytes_left_);
+  cut(played_seconds_);
+  cut(duration_);
+  cut(patience_);
+  cut(access_rate_bps_);
+  cut(sustained_cap_);
+  cut(rungs_);
+  cut(rung_quality_);
+  cut(rung_top_index_);
+  cut(policy_);
+  cut(ewma_rate_);
+  cut(delivered_bytes_);
+  cut(retransmitted_bytes_);
+  cut(hungry_bytes_);
+  cut(hungry_seconds_);
+  cut(min_rtt_);
+  cut(play_delay_);
+  cut(rebuffer_seconds_);
+  cut(rebuffer_count_);
+  cut(switches_);
+  cut(cancelled_);
+  cut(rtt_sum_ref_);
+  cut(rtt_ticks_ref_);
+  cut(played_marker_);
+  cut(bitrate_time_integral_);
+  cut(quality_time_integral_);
+  bucket_count_.back() = 0;
+  bucket_begin_.back() = new_size;
+}
+
+void SessionPool::check_invariants() const {
+  const auto fail = [](const std::string& what) {
+    throw std::logic_error("SessionPool invariant violated: " + what);
+  };
+  const std::size_t n = state_.size();
+  const std::size_t policies = policies_.size();
+  const auto check_len = [&](std::size_t len, const char* name) {
+    if (len != n) fail(std::string("array length mismatch: ") + name);
+  };
+  check_len(identity_.size(), "identity");
+  check_len(clock_.size(), "clock");
+  check_len(buffer_seconds_.size(), "buffer_seconds");
+  check_len(bitrate_.size(), "bitrate");
+  check_len(quality_.size(), "quality");
+  check_len(rungs_.size(), "rungs");
+  check_len(rung_quality_.size(), "rung_quality");
+  check_len(rung_top_index_.size(), "rung_top_index");
+  check_len(policy_.size(), "policy");
+  check_len(rtt_sum_ref_.size(), "rtt_sum_ref");
+  check_len(rtt_ticks_ref_.size(), "rtt_ticks_ref");
+  check_len(played_marker_.size(), "played_marker");
+
+  // Bucket bookkeeping: eager counts must match a fresh recount, and when
+  // the partition is clean the physical layout must match bucket_begin_.
+  std::vector<std::size_t> recount(3 * policies + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (policy_[i] >= policies) fail("policy index out of range");
+    ++recount[bucket_of(i)];
+  }
+  if (recount != bucket_count_) fail("bucket counts out of sync");
+  if (!partition_dirty_) {
+    std::size_t acc = 0;
+    for (std::size_t b = 0; b < recount.size(); ++b) {
+      if (bucket_begin_[b] != acc) fail("bucket_begin out of sync");
+      acc += bucket_count_[b];
+    }
+    if (bucket_begin_.back() != acc || acc != n) {
+      fail("bucket_begin tail out of sync");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t b = bucket_of(i);
+      if (i < bucket_begin_[b] || i >= bucket_begin_[b] + bucket_count_[b]) {
+        fail("slot outside its bucket range");
+      }
+    }
+  }
+
+  // Per-slot cached state must survive swaps: rung pointers valid and
+  // consistent with the cached quality/bitrate, telemetry snapshots
+  // never ahead of the pool-wide cumulative counters.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rungs_[i] == nullptr) fail("null cached rung pointer");
+    if (rung_quality_[i] == nullptr) fail("null cached rung-quality pointer");
+    const auto top_idx = static_cast<std::size_t>(rung_top_index_[i]);
+    const double top = rungs_[i][top_idx];
+    if (!(bitrate_[i] > 0.0) || bitrate_[i] > top) {
+      fail("bitrate outside ladder range");
+    }
+    if (quality_[i] != perceptual_quality(bitrate_[i])) {
+      fail("stale cached quality");
+    }
+    // The per-rung quality cache must track the rung array rung for
+    // rung: the Phase C fast path hands rung_quality_[i][k] to
+    // apply_bitrate_switch without recomputing the score.
+    for (std::size_t r = 0; r <= top_idx; ++r) {
+      if (rung_quality_[i][r] != perceptual_quality(rungs_[i][r])) {
+        fail("stale per-rung quality cache");
+      }
+    }
+    if (played_marker_[i] > played_seconds_[i]) {
+      fail("played marker ahead of playback");
+    }
+    if (state_[i] != SessionState::kDone) {
+      if (rtt_sum_ref_[i] > cum_rtt_sum_ || rtt_ticks_ref_[i] > cum_rtt_ticks_) {
+        fail("rtt snapshot ahead of cumulative counters");
+      }
+    }
+  }
 }
 
 }  // namespace xp::video

@@ -3,12 +3,20 @@
 // Every active session on a link lives in one slot of a set of parallel
 // arrays (state machine, buffer level, demand inputs, telemetry
 // accumulators), so the tick loop streams contiguous memory instead of
-// chasing one heap object per session. Slots retire by swap-erase — the
-// back slot moves into the hole and the capacity is recycled, so the
-// steady-state tick performs zero heap allocations. Sessions reference a
-// caller-owned BitrateLadder (the cluster precomputes the six
-// device x treatment ladders once per run), so arrivals allocate nothing
-// either.
+// chasing one heap object per session. Sessions reference a caller-owned
+// BitrateLadder (the cluster precomputes the six device x treatment
+// ladders once per run), so arrivals allocate nothing either.
+//
+// Slot order is *state-partitioned*: the arrays are kept physically
+// grouped into contiguous buckets ordered (playing by policy) | (startup
+// by policy) | (rebuffering by policy) | done. State transitions are rare
+// (a handful per session lifetime) next to slot-ticks (one per session
+// per tick), so the tick passes run branch-free over dense ranges — the
+// per-slot state switch and per-slot policy dispatch are gone from the
+// hot loops, which autovectorize (see tools/check_vectorization.sh) —
+// and the partition is repaired afterwards by swapping only the slots
+// that moved. Retiring pops the done bucket off the tail, so the
+// steady-state tick still performs zero heap allocations.
 //
 // The scalar `Session` class (session.h) is a pool-of-one wrapper kept for
 // unit tests and external callers; the state-machine arithmetic lives
@@ -91,6 +99,24 @@ class StallSampler {
     return true;
   }
 
+  /// Consume `trials` Bernoulli(p) trials at once, calling fn(k) for each
+  /// trial index k in [0, trials) that fires. Bit-compatible with calling
+  /// step() `trials` times: the same gaps are consumed from the same
+  /// stream. The pool's stall pass hands the whole playing range here, so
+  /// the cost is O(fires) instead of one decrement+branch per playing
+  /// session per tick.
+  template <typename F>
+  void step_block(std::uint64_t trials, F&& fn) {
+    if (probability_ <= 0.0) return;
+    std::uint64_t consumed = 0;
+    while (trials - consumed >= trials_left_) {
+      consumed += trials_left_;
+      draw_gap();  // same stream position as the step() that fired
+      fn(consumed - 1);
+    }
+    trials_left_ -= trials - consumed;
+  }
+
   /// Stall duration for a fired event (uniform, same stream as the gaps).
   double draw_stall_seconds() noexcept {
     return rng_.uniform(min_stall_seconds_, max_stall_seconds_);
@@ -103,7 +129,7 @@ class StallSampler {
   double min_stall_seconds_ = 0.5;
   double max_stall_seconds_ = 3.0;
   std::uint64_t trials_left_ = 0;
-  stats::Rng rng_;
+  stats::BatchedRng rng_;
 };
 
 class SessionPool {
@@ -134,7 +160,8 @@ class SessionPool {
     std::uint8_t policy = 0;
   };
 
-  /// Append a session; returns its slot index (valid until a retire pass).
+  /// Append a session; returns its slot index (valid until the next tick
+  /// pass — partition maintenance may move slots).
   std::size_t add(const Arrival& arrival);
 
   void reserve(std::size_t sessions);
@@ -143,21 +170,41 @@ class SessionPool {
 
   // ----- tick passes (each streams the arrays once) ------------------
 
+  /// Aggregates the demand-gather pass computes alongside the per-slot
+  /// demand vector, so the allocator need not re-scan it for them.
+  struct DemandTotals {
+    double desired_load_bps = 0.0;  ///< congestion-free sustained caps
+    double demand_sum_bps = 0.0;    ///< sum of the written demands
+    std::size_t demand_positive = 0;  ///< count of strictly positive demands
+  };
+
   /// Pass 1: write per-slot instantaneous demand (b/s) into `demands`
   /// (resized to size(); capacity reused across ticks) and accumulate the
-  /// aggregate congestion-free desired load.
+  /// aggregate congestion-free desired load plus the demand sum/count the
+  /// water-fill allocator seeds from. Restores the state partition first
+  /// (non-const): the grants computed against `demands` are indexed by
+  /// the slot order this call establishes.
+  void gather_demand(std::vector<double>& demands, DemandTotals& totals);
+
+  /// Back-compat shim for callers that only need the desired load.
   void gather_demand(std::vector<double>& demands,
-                     double& desired_load_bps) const;
+                     double& desired_load_bps) {
+    DemandTotals totals;
+    gather_demand(demands, totals);
+    desired_load_bps = totals.desired_load_bps;
+  }
 
   /// Pass 3 (pass 2 is the link's allocation): integrate one tick given
-  /// the per-slot grants and the link's RTT/loss. `stalls`, when enabled,
-  /// consumes one skip-sampling trial per session that ends the tick in
-  /// kPlaying (the old per-session uniform draw, without the draw).
+  /// the per-slot grants and the link's RTT/loss. `alloc` must be indexed
+  /// by the slot order of the preceding gather_demand (no add() in
+  /// between). `stalls`, when enabled, consumes one skip-sampling trial
+  /// per session that ends the tick in kPlaying, in partitioned slot
+  /// order.
   void advance_all(double dt, std::span<const double> alloc, double rtt,
                    double loss, StallSampler* stalls = nullptr);
 
   /// Pass 4: finalize every kDone slot into `out` (bumping `completed`)
-  /// and recycle its slot via swap-erase.
+  /// and recycle the slots by popping the done bucket off the tail.
   void retire_finished(std::vector<SessionRecord>& out,
                        std::uint64_t& completed);
 
@@ -205,9 +252,30 @@ class SessionPool {
   /// Produce the telemetry row for slot `i` (does not retire it).
   SessionRecord finalize(std::size_t i) const;
 
+  /// Validate every pool invariant the partitioned fast path relies on:
+  /// equal array lengths, bucket counts consistent with per-slot
+  /// state/policy bytes (and, when the partition is clean, physically
+  /// grouped), cached ladder rung pointers non-null with a sane top
+  /// index, policy indices inside the dispatch table, the cached
+  /// perceptual-quality snapshot matching the current bitrate, and RTT
+  /// reference snapshots within the pool's cumulative counters. Throws
+  /// std::logic_error naming the violated invariant. Debug builds run it
+  /// after every advance/retire; tests call it directly in any build.
+  void check_invariants() const;
+
  private:
   void select_bitrate(std::size_t i) noexcept;
-  void swap_remove(std::size_t i);
+  /// `quality` must equal perceptual_quality(next) — callers pass the
+  /// cached per-rung score so the switch path never recomputes it.
+  void apply_bitrate_switch(std::size_t i, double next,
+                            double quality) noexcept;
+  /// Restore the physical bucket grouping after adds/transitions marked
+  /// it dirty. O(size) byte scan + one 31-array swap per misplaced slot.
+  void repartition();
+  void swap_slots(std::size_t a, std::size_t b) noexcept;
+  void truncate(std::size_t new_size);
+  std::size_t bucket_of(std::size_t i) const noexcept;
+  void set_state(std::size_t i, SessionState to) noexcept;
 
   SessionParams params_;
   /// Resolved policy dispatch table: per-slot `policy_` bytes index here,
@@ -247,6 +315,10 @@ class SessionPool {
   // selection is one indexed load instead of two pointer chases through a
   // BitrateLadder and its vector.
   std::vector<const double*> rungs_;
+  /// Parallel per-rung perceptual-quality array of the same ladder
+  /// (BitrateLadder::rung_quality) — switches look the score up by rung
+  /// index instead of recomputing the log curve.
+  std::vector<const double*> rung_quality_;
   std::vector<double> rung_top_index_;
   std::vector<std::uint8_t> policy_;
   /// Smoothed goodput estimate (b/s), maintained only when track_rate_.
@@ -280,6 +352,22 @@ class SessionPool {
   std::vector<double> played_marker_;
   std::vector<double> bitrate_time_integral_;
   std::vector<double> quality_time_integral_;
+
+  // ----- state partition ---------------------------------------------
+  // Buckets, in physical slot order: one (state, policy) bucket per
+  // alive state — playing first (hottest), grouped by policy within the
+  // state so the ABR pass runs one tight loop per policy — then a single
+  // done bucket at the tail (so retiring is a pop, not a swap-erase).
+  // bucket_count_ is maintained eagerly at add/transition; bucket_begin_
+  // (prefix sums, one past-the-end entry) is rebuilt by repartition().
+  std::vector<std::size_t> bucket_count_;
+  std::vector<std::size_t> bucket_begin_;
+  std::vector<std::size_t> bucket_cursor_;  ///< repartition scratch
+  bool partition_dirty_ = false;
+
+  // Tick scratch (capacity reused; the steady state allocates nothing).
+  std::vector<double> good_bytes_;
+  std::vector<std::int32_t> abr_index_;
 };
 
 }  // namespace xp::video

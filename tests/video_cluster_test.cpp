@@ -214,6 +214,67 @@ TEST(StallSampler, SkipSamplingMatchesBernoulliRate) {
   EXPECT_NEAR(static_cast<double>(fires), expected, 5.0 * sigma);
 }
 
+TEST(StallSampler, StepBlockBitCompatibleWithStep) {
+  // The pool's stall pass consumes trials a block at a time; the fired
+  // trial indices and the stall-duration stream must be exactly what
+  // stepping one trial at a time produces.
+  const double p = 0.01;
+  video::StallSampler stepped(p, /*seed=*/1234);
+  video::StallSampler blocked(p, /*seed=*/1234);
+  std::vector<std::uint64_t> fires_stepped, fires_blocked;
+  std::vector<double> stalls_stepped, stalls_blocked;
+  const std::uint64_t trials = 50000;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    if (stepped.step()) {
+      fires_stepped.push_back(t);
+      stalls_stepped.push_back(stepped.draw_stall_seconds());
+    }
+  }
+  // Deterministically irregular chunk sizes (including zero-size blocks)
+  // so the block boundaries land on every phase of the gap stream.
+  std::uint64_t consumed = 0;
+  stats::Rng chunks(5);
+  while (consumed < trials) {
+    const std::uint64_t chunk =
+        std::min(trials - consumed, chunks.uniform_int(700));
+    blocked.step_block(chunk, [&](std::uint64_t k) {
+      fires_blocked.push_back(consumed + k);
+      stalls_blocked.push_back(blocked.draw_stall_seconds());
+    });
+    consumed += chunk;
+  }
+  EXPECT_EQ(fires_stepped, fires_blocked);
+  EXPECT_EQ(stalls_stepped, stalls_blocked);
+}
+
+TEST(StallSampler, StepBlockOnBatchedStreamMatchesBernoulliRate) {
+  // The calibration mirror of SkipSamplingMatchesBernoulliRate, driven
+  // through the batched entry point the pool actually uses: geometric
+  // gaps served off the BatchedRng stream must still reproduce the
+  // per-trial firing rate within binomial noise.
+  const double p = 0.004;
+  const std::uint64_t trials = 400000;
+  video::StallSampler sampler(p, /*seed=*/99);
+  ASSERT_TRUE(sampler.enabled());
+  std::size_t fires = 0;
+  std::uint64_t consumed = 0;
+  while (consumed < trials) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(trials - consumed,
+                                                        1000);
+    sampler.step_block(chunk, [&](std::uint64_t k) {
+      EXPECT_LT(k, chunk);
+      ++fires;
+      const double s = sampler.draw_stall_seconds();
+      EXPECT_GE(s, 0.5);
+      EXPECT_LE(s, 3.0);
+    });
+    consumed += chunk;
+  }
+  const double expected = p * static_cast<double>(trials);
+  const double sigma = std::sqrt(expected * (1.0 - p));
+  EXPECT_NEAR(static_cast<double>(fires), expected, 5.0 * sigma);
+}
+
 TEST(StallSampler, DisabledAtZeroRateAndCertainAtOne) {
   video::StallSampler off(0.0, 1);
   EXPECT_FALSE(off.enabled());

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Guard the tick/OLS hot-loop vectorization.
+#
+# Every loop the perf envelope depends on carries a marker comment on the
+# line directly above its `for`:
+#
+#     // vec-check: <name>
+#     for (...) { ... }
+#
+# This script recompiles the hot translation units with the Release
+# optimization flags plus -fopt-info-vec, and fails unless GCC reports
+# "loop vectorized" for the line after each marker. A refactor that
+# silently drops a loop back to scalar (a conditional load re-inlined into
+# a select, an alias-versioning cap tripped by one more unqualified
+# pointer, a reduction lane mixed with an integer) fails here loudly
+# instead of surfacing as a 2x bench regression later. On a miss, the
+# -fopt-info-vec-missed diagnostics for the offending line are printed.
+#
+# Usage: tools/check_vectorization.sh  (from the repo root or anywhere)
+set -u
+
+cd "$(dirname "$0")/.."
+
+# The hot TUs: the session-pool tick passes, the water-fill allocator,
+# and the Newey-West OLS kernels.
+TUS=(
+  src/video/session_pool.cpp
+  src/video/fluid_link.cpp
+  src/stats/ols.cpp
+)
+
+# Mirror the Release flags that matter to the vectorizer. In particular
+# -fno-trapping-math (set in CMakeLists for GNU): without it GCC refuses
+# the if-conversion every branch-free select in these loops relies on.
+CXX=${CXX:-g++}
+FLAGS="-std=c++20 -O3 -DNDEBUG -fno-trapping-math -I src"
+
+status=0
+for tu in "${TUS[@]}"; do
+  report=$("$CXX" $FLAGS -c "$tu" -o /dev/null -fopt-info-vec 2>&1)
+  missed=""
+  while IFS=: read -r line _name; do
+    want=$((line + 1))
+    if ! grep -q "^${tu}:${want}:[0-9]*: optimized: loop vectorized" \
+        <<<"$report"; then
+      name=$(sed -n "${line}s/.*vec-check: *//p" "$tu")
+      echo "FAIL: ${tu}:${want}: loop '${name}' did not vectorize"
+      missed="${missed} ${want}"
+      status=1
+    fi
+  done < <(grep -n 'vec-check:' "$tu" | cut -d: -f1 | sed 's/$/:/')
+  if [[ -n "$missed" ]]; then
+    echo "---- -fopt-info-vec-missed diagnostics for ${tu}:"
+    "$CXX" $FLAGS -c "$tu" -o /dev/null -fopt-info-vec-missed 2>&1 |
+      grep -E "$(echo "$missed" | tr ' ' '\n' | grep -v '^$' |
+                 sed "s|^|^${tu}:|; s|\$|:|" | paste -sd'|')" || true
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  total=$(grep -c 'vec-check:' "${TUS[@]}" | awk -F: '{s+=$2} END {print s}')
+  echo "OK: all ${total} vec-check loops vectorized"
+fi
+exit $status
