@@ -4,6 +4,7 @@
 // benches tractable.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "stats/descriptive.h"
 #include "stats/ols.h"
 #include "stats/rng.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
 #include "video/fluid_link.h"
 
 namespace {
@@ -251,6 +254,25 @@ BENCHMARK(BM_ExperimentPipeline)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+void BM_TraceReplayDay(benchmark::State& state) {
+  // One block-bootstrap replicate of a recorded day (src/trace/): the
+  // trace backend's analogue of BM_PairedLinksDay. Construction (parse +
+  // cell indexing) happens once outside the loop, like a long-lived
+  // replay service; the loop measures one seed-pure replicate draw plus
+  // the metric-column build.
+  const auto sessions = xp::bench::main_experiment(/*days=*/1.0).sessions;
+  xp::trace::TraceMeta meta;
+  meta.allocation = 0.95;
+  meta.horizon_s = 86400.0;
+  const xp::trace::TraceSource source(
+      xp::trace::make_log(sessions, meta), {});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.run(0.95, seed++));
+  }
+}
+BENCHMARK(BM_TraceReplayDay)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,124 @@
+// Trace replay end-to-end: the simulation-vs-replay calibration loop.
+//
+//  1. Run the canonical paired-link capping week directly
+//     (paired_links/experiment) and read it with the TTE, switchback and
+//     SRM estimators.
+//  2. Run trace/self_calibration: the same week exported to the
+//     session-log schema (src/trace/) and replayed through TraceSource's
+//     block bootstrap — same estimators, same spec shape.
+//  3. Round-trip one world through both codecs (CSV and binary) and check
+//     they reproduce the identical log.
+//  4. Compare the headline paired-link TTE of the replay against the
+//     direct run's across-week band and confidence interval.
+//
+// Every number prints with full precision (%.17g) and the output is a pure
+// function of the spec seed, so `XP_THREADS=1` and `XP_THREADS=4` runs must
+// produce byte-identical output. CI diffs exactly that.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "core/estimate_table.h"
+#include "core/experiment_data.h"
+#include "lab/experiment.h"
+#include "trace/codec.h"
+#include "trace/writer.h"
+
+namespace {
+
+void print_rows(const xp::core::EstimateTable& table, const char* metric) {
+  for (const xp::core::EstimateRow* row : table.metric_rows(metric)) {
+    std::printf("  %s %s/%s:", table.estimator.c_str(), row->metric.c_str(),
+                row->label.c_str());
+    for (const xp::core::EffectEstimate& effect : row->replicates) {
+      std::printf(" %.17g (p=%.17g%s)", effect.estimate, effect.p_value,
+                  effect.significant ? ", significant" : "");
+    }
+    std::printf("\n");
+  }
+}
+
+xp::core::ExperimentReport run_scenario(const char* scenario) {
+  xp::lab::ExperimentSpec spec;
+  spec.scenario = scenario;
+  spec.tuning.duration_scale = 0.4;  // two simulated days per world
+  spec.replicates = 4;
+  spec.seed = 21;
+  spec.estimators = {"paired_link/tte", "switchback/tte", "guardrail/srm"};
+  spec.analysis.bootstrap_replicates = 50;
+
+  std::printf("== %s ==\n", scenario);
+  const auto report = xp::lab::run_experiment(spec);
+  const auto manifest = report.manifest();
+  std::printf("manifest: cells=%zu ok=%zu complete=%s\n", manifest.cells,
+              manifest.ok, manifest.complete() ? "yes" : "no");
+  for (const char* metric : {"video bitrate", "min RTT"}) {
+    print_rows(report.estimates_for("paired_link/tte"), metric);
+    print_rows(report.estimates_for("switchback/tte"), metric);
+    print_rows(report.estimates_for("guardrail/srm"), metric);
+  }
+  return report;
+}
+
+/// Serialize `log` with `format` into a string and parse it back.
+xp::trace::TraceLog round_trip(const xp::trace::TraceLog& log,
+                               xp::trace::TraceFormat format) {
+  std::stringstream buffer;
+  xp::trace::write_trace(buffer, log, format);
+  return xp::trace::read_trace(buffer, format);
+}
+
+/// Byte-identical binary serialization == identical log.
+std::string binary_bytes(const xp::trace::TraceLog& log) {
+  std::ostringstream buffer;
+  xp::trace::write_trace(buffer, log, xp::trace::TraceFormat::kBinary);
+  return buffer.str();
+}
+
+}  // namespace
+
+int main() {
+  const auto direct = run_scenario("paired_links/experiment");
+  std::printf("\n");
+  const auto replay = run_scenario("trace/self_calibration");
+
+  // Codec round trip: the direct run's realized week, exported to the
+  // schema, survives CSV and binary serialization bit-for-bit.
+  xp::trace::TraceMeta meta;
+  meta.source = "paired_links/experiment";
+  meta.allocation = 0.95;
+  meta.seed = 21;
+  const auto log = xp::trace::make_log(direct.cell(0, 0).table, meta);
+  const auto via_csv = round_trip(log, xp::trace::TraceFormat::kCsv);
+  const auto via_binary = round_trip(log, xp::trace::TraceFormat::kBinary);
+  const bool parity = binary_bytes(via_csv) == binary_bytes(via_binary) &&
+                      binary_bytes(via_csv) == binary_bytes(log);
+  std::printf("\ncodec round trip: rows=%zu csv=%zu binary=%zu parity=%s\n",
+              log.records.size(), via_csv.records.size(),
+              via_binary.records.size(), parity ? "yes" : "no");
+
+  // Calibration: the replayed headline TTE should land inside the direct
+  // run's across-week stability band (widened by its own width — the
+  // block bootstrap re-draws the week's hour mix) or overlap its CI.
+  const auto* direct_row =
+      direct.estimates_for("paired_link/tte").metric_rows("video bitrate")[0];
+  const auto* replay_row =
+      replay.estimates_for("paired_link/tte").metric_rows("video bitrate")[0];
+  const auto band = xp::core::relative_spread(*direct_row);
+  const double slack = band.max - band.min;
+  const double headline = replay_row->effect().relative();
+  const bool in_band =
+      headline >= band.min - slack && headline <= band.max + slack;
+  const bool ci_overlap =
+      replay_row->effect().relative_ci_low() <=
+          direct_row->effect().relative_ci_high() &&
+      direct_row->effect().relative_ci_low() <=
+          replay_row->effect().relative_ci_high();
+  std::printf(
+      "calibration (video bitrate TTE, relative): direct band "
+      "[%.17g, %.17g] replay headline %.17g in_band=%s ci_overlap=%s\n",
+      band.min, band.max, headline, in_band ? "yes" : "no",
+      ci_overlap ? "yes" : "no");
+  std::printf("calibrated=%s\n", (in_band || ci_overlap) ? "yes" : "no");
+  return 0;
+}

@@ -1,59 +1,38 @@
 // The backend seam of the experiment pipeline.
 //
-// The paper's core move is running the *same* experiment designs over two
+// The paper's core move is running the *same* experiment designs over
 // very different data-generating processes: the packet-level dumbbell lab
-// of Section 3 (Figures 2-3) and the fluid paired-link video cluster of
-// Section 4 (Figures 5-13). A DataSource is the tiny virtual interface
-// both sit behind (modeled on puffer's pluggable ABRAlgo): simulate one
-// world at a treatment allocation and return a common unit-observation
-// table. Everything above — the scenario registry, the ExperimentSpec
-// pipeline, the designs in core/ — only ever sees this interface, so a
-// new backend (new treatment, trace replay, multi-bottleneck topology)
-// lands as one registry entry instead of a new bench binary.
+// of Section 3 (Figures 2-3), the fluid paired-link video cluster of
+// Section 4 (Figures 5-13), and — since the trace layer landed — recorded
+// session logs replayed through src/trace/. A DataSource is the tiny
+// virtual interface all of them sit behind (modeled on puffer's pluggable
+// ABRAlgo): produce one world at a treatment allocation and return a
+// common unit-observation table. Everything above — the scenario
+// registry, the ExperimentSpec pipeline, the designs in core/ — only ever
+// sees this interface, so a new backend (new treatment, trace replay,
+// multi-bottleneck topology) lands as one registry entry instead of a new
+// bench binary.
 //
-// The table type itself lives in core/observation_table.h (it is pure
-// core vocabulary — named columns of core::Observation — and the core
-// Estimator interface consumes it); xp::lab re-exports it here so data
-// sources keep spelling lab::ObservationTable.
+// The interface itself lives in core/datasource.h (pure core vocabulary —
+// it returns a core::ObservationTable — and the trace layer below lab/
+// implements it); xp::lab re-exports both names here so data sources keep
+// spelling lab::DataSource and lab::ObservationTable.
+//
+// SourceOptions::duration_scale semantics (see lab/registry.h for the
+// struct): generative sources shrink the *simulated* horizon (dumbbell
+// warmup+duration, cluster days) proportionally. Non-generative sources
+// must not silently ignore it: trace replay honors it by truncating the
+// replayed horizon — only sessions arriving in the first
+// duration_scale × recorded-horizon seconds of the log are replayed — so
+// smoke-scale specs stay cheap over recorded data too.
 #pragma once
 
-#include <cstdint>
-#include <string_view>
-
+#include "core/datasource.h"
 #include "core/observation_table.h"
 
 namespace xp::lab {
 
 using ObservationTable = core::ObservationTable;
-
-/// One data-generating process. Implementations must be stateless after
-/// construction: run() is called concurrently from pipeline threads and
-/// its result must be a pure function of (allocation, seed).
-class DataSource {
- public:
-  virtual ~DataSource() = default;
-
-  /// The registry key this source is published under.
-  virtual std::string_view name() const noexcept = 0;
-
-  /// The allocation of the canonical experiment (e.g. 0.95 for the
-  /// paired-link capping experiment); pipelines use it when a spec does
-  /// not sweep allocations explicitly.
-  virtual double default_allocation() const noexcept = 0;
-
-  /// Simulate one world with fraction `allocation` of units treated.
-  virtual ObservationTable run(double allocation,
-                               std::uint64_t seed) const = 0;
-
-  /// The fraction of units the design *intends* to treat when run at
-  /// `allocation` — the null hypothesis of the sample-ratio-mismatch
-  /// guardrail (core/data_quality.h). Defaults to the allocation itself;
-  /// sources whose assignment mechanism is indirect (per-link Bernoulli
-  /// routing, integer rounding) override it so a healthy world is never
-  /// flagged.
-  virtual double intended_treated_fraction(double allocation) const noexcept {
-    return allocation;
-  }
-};
+using DataSource = core::DataSource;
 
 }  // namespace xp::lab

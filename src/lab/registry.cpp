@@ -1,10 +1,15 @@
 #include "lab/registry.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <utility>
 
 #include "core/session_metrics.h"
+#include "trace/codec.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
 #include "util/string_registry.h"
 #include "video/cluster.h"
 
@@ -258,6 +263,54 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
     plan.telemetry.drop_probability = 0.05;
     plan.telemetry.corrupt_probability = 0.03;
     return plan;
+  });
+
+  // Trace-replay backend (src/trace/): recorded session logs through the
+  // same estimator stack. trace/replay reads a log file; replicate weeks
+  // come from seed-pure block-bootstrap over hourly cells (the log is one
+  // realized week, the bootstrap synthesizes its stability band).
+  reg.emplace("trace/replay", [](const SourceOptions& opt) {
+    std::string path = opt.trace_path;
+    if (path.empty()) {
+      if (const char* env = std::getenv("XP_TRACE_FILE")) path = env;
+    }
+    if (path.empty()) {
+      throw std::invalid_argument(
+          "trace/replay: no log file named — set SourceOptions::trace_path "
+          "or the XP_TRACE_FILE environment variable");
+    }
+    trace::ReplayConfig config;
+    config.name = "trace/replay";
+    config.duration_scale = opt.duration_scale;
+    return std::make_unique<trace::TraceSource>(trace::read_trace_file(path),
+                                                std::move(config));
+  });
+
+  // Simulation-vs-replay calibration (the loop the paper closes on
+  // production data): simulate the canonical capping week, export it
+  // through the session-log schema, and serve the export back as a
+  // DataSource. Headline estimates replayed from the log should agree
+  // with the direct paired_links/experiment run within the bootstrap
+  // band — tests/trace_test.cpp and examples/trace_replay.cpp check it.
+  reg.emplace("trace/self_calibration", [](const SourceOptions& opt) {
+    video::ClusterConfig config =
+        scaled(canonical_experiment_config(), opt.duration_scale);
+    const video::ClusterResult result = video::run_paired_links(config);
+    trace::TraceMeta meta;
+    meta.source = "paired_links/experiment";
+    meta.allocation = config.treat_probability[0];
+    const double p0 = config.link0_probability;
+    meta.intended_treated_fraction = p0 * config.treat_probability[0] +
+                                     (1.0 - p0) * config.treat_probability[1];
+    meta.seed = config.seed;
+    meta.horizon_s = config.days * 86400.0;
+    trace::ReplayConfig replay;
+    replay.name = "trace/self_calibration";
+    // The horizon was already scaled at simulation time; the replay side
+    // keeps the whole exported log.
+    replay.duration_scale = 1.0;
+    return std::make_unique<trace::TraceSource>(
+        trace::make_log(result.sessions, std::move(meta)), std::move(replay));
   });
 }
 

@@ -20,6 +20,16 @@
 //   paired_links/abr_swap      hybrid control vs rate-based-ABR treatment
 //   paired_links/bba_vs_rate   buffer-based BBA vs rate-based ABR
 //
+// and the trace-replay backend (src/trace/ — recorded session logs
+// through the same estimator stack):
+//
+//   trace/replay               replay a session-log file (.xpt/.csv) named
+//                              by SourceOptions::trace_path (falling back
+//                              to $XP_TRACE_FILE), bootstrap replicates
+//   trace/self_calibration     export the canonical paired-links week to
+//                              the schema and replay it — the
+//                              simulation-vs-replay calibration loop
+//
 // The canonical configurations live in this translation unit only —
 // benches, examples, and tests all obtain them from here. A new treatment
 // lands as one TreatmentPolicy + one register_scenario call.
@@ -41,8 +51,16 @@ namespace xp::lab {
 /// Knobs every factory honors. duration_scale shrinks the simulated
 /// horizon proportionally (dumbbell warmup+duration, cluster days);
 /// 1.0 is the paper-scale canonical run, tests use ~0.05 smoke runs.
+/// Non-generative sources must honor it too: trace replay truncates the
+/// replayed horizon to duration_scale x the recorded one (never silently
+/// ignores it — smoke tests rely on this; see lab/datasource.h).
 struct SourceOptions {
   double duration_scale = 1.0;
+  /// Session-log file for the trace/replay scenario (see src/trace/);
+  /// empty falls back to the XP_TRACE_FILE environment variable, and the
+  /// factory throws (naming both knobs) when neither is set. Generative
+  /// scenarios ignore it.
+  std::string trace_path;
 };
 
 using SourceFactory =

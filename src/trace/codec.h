@@ -1,0 +1,53 @@
+// Codecs for the session-log schema (trace/schema.h): a human-greppable
+// CSV form and a compact binary form, both self-describing and strictly
+// validated on read.
+//
+// CSV layout (".csv"):
+//   #xpt v1 csv                      <- magic + schema version
+//   #source=paired_links/experiment  <- TraceMeta key=value lines
+//   #allocation=0.95
+//   ...
+//   session_id,account_id,...        <- the schema's exact column header
+//   1,17,0,1,0,6,21600.5,...         <- one row per session
+//
+// Binary layout (".xpt"): "XPTB" magic, u32 schema version, a key=value
+// metadata block, u64 row count, then rows packed field-by-field in
+// schema order (little-endian, the only byte order we target).
+//
+// Read-side contract (tested in tests/trace_test.cpp): every malformed
+// input throws std::invalid_argument naming the line (CSV) or row/byte
+// offset (binary) AND the offending field — never a silent skip, never a
+// crash. Unreadable/unwritable files throw std::runtime_error naming the
+// path. NaN metric values round-trip (CSV spells them "nan"; the binary
+// codec preserves their exact bit pattern).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/schema.h"
+
+namespace xp::trace {
+
+enum class TraceFormat : std::uint8_t { kCsv, kBinary };
+
+/// Serialize a log. Rows are written as-is (no validation: the writer
+/// trusts its producer; readers re-validate).
+void write_trace(std::ostream& out, const TraceLog& log, TraceFormat format);
+
+/// Parse a log of a known format. Throws std::invalid_argument on any
+/// schema violation, naming the line/row and field.
+TraceLog read_trace(std::istream& in, TraceFormat format);
+
+/// Write to a path; the format is chosen by extension (".csv" -> CSV,
+/// anything else -> binary; the conventional binary extension is ".xpt").
+void write_trace_file(const std::string& path, const TraceLog& log);
+void write_trace_file(const std::string& path, const TraceLog& log,
+                      TraceFormat format);
+
+/// Read a path, sniffing the format from the leading magic bytes
+/// ("XPTB" -> binary, "#xpt" -> CSV; anything else is an error naming the
+/// path).
+TraceLog read_trace_file(const std::string& path);
+
+}  // namespace xp::trace

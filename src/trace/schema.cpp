@@ -1,0 +1,72 @@
+#include "trace/schema.h"
+
+namespace xp::trace {
+
+std::string_view validate_record(const TraceRecord& record) noexcept {
+  if (record.hour > 23) return kFieldNames[5];                // "hour"
+  if (record.treated > 1) return kFieldNames[3];              // "treated"
+  if (record.device > static_cast<std::uint8_t>(Device::kUhd)) {
+    return kFieldNames[8];                                    // "device"
+  }
+  if (record.cancelled_start > 1) return kFieldNames[10];
+  if (record.had_rebuffer > 1) return kFieldNames[13];
+  return {};
+}
+
+TraceRecord to_trace_record(const video::SessionRecord& row) noexcept {
+  TraceRecord out;
+  out.session_id = row.session_id;
+  out.account_id = row.account_id;
+  out.link = row.link;
+  out.treated = row.treated ? 1 : 0;
+  out.day = row.day;
+  out.hour = row.hour;
+  out.arrival_s = row.start_time;
+  out.duration_s = row.duration;
+  out.device = static_cast<std::uint8_t>(Device::kUnknown);
+  out.startup_delay_s = row.play_delay;
+  out.cancelled_start = row.cancelled_start ? 1 : 0;
+  out.rebuffer_count = row.rebuffer_count;
+  out.rebuffer_s = row.rebuffer_seconds;
+  out.had_rebuffer = row.had_rebuffer ? 1 : 0;
+  out.mean_bitrate_bps = row.avg_bitrate_bps;
+  out.perceptual_quality = row.perceptual_quality;
+  out.quality_integral = row.perceptual_quality * row.duration;
+  out.throughput_bps = row.avg_throughput_bps;
+  out.min_rtt_s = row.min_rtt;
+  out.mean_rtt_s = row.mean_rtt;
+  out.retransmit_fraction = row.retransmit_fraction;
+  out.bytes_sent = row.bytes_sent;
+  out.bitrate_switches = row.bitrate_switches;
+  out.stability = row.stability;
+  return out;
+}
+
+video::SessionRecord to_session_record(const TraceRecord& row) noexcept {
+  video::SessionRecord out;
+  out.session_id = row.session_id;
+  out.account_id = row.account_id;
+  out.link = row.link;
+  out.treated = row.treated != 0;
+  out.day = row.day;
+  out.hour = row.hour;
+  out.start_time = row.arrival_s;
+  out.duration = row.duration_s;
+  out.avg_throughput_bps = row.throughput_bps;
+  out.min_rtt = row.min_rtt_s;
+  out.mean_rtt = row.mean_rtt_s;
+  out.retransmit_fraction = row.retransmit_fraction;
+  out.bytes_sent = row.bytes_sent;
+  out.play_delay = row.startup_delay_s;
+  out.cancelled_start = row.cancelled_start != 0;
+  out.avg_bitrate_bps = row.mean_bitrate_bps;
+  out.perceptual_quality = row.perceptual_quality;
+  out.rebuffer_count = row.rebuffer_count;
+  out.rebuffer_seconds = row.rebuffer_s;
+  out.had_rebuffer = row.had_rebuffer != 0;
+  out.bitrate_switches = row.bitrate_switches;
+  out.stability = row.stability;
+  return out;
+}
+
+}  // namespace xp::trace

@@ -1,0 +1,112 @@
+// The versioned session-log schema of the trace layer: one row per video
+// session, carrying everything the estimator stack reads — time
+// coordinates (arrival, duration, per-hour bucket), the exposure (link,
+// arm), and the full QoE/network telemetry of video/session_record.h.
+//
+// This is the on-disk twin of the paper's observed-telemetry dataset
+// (Section 4.1): both related trace analyzers reduce raw captures to
+// exactly this shape — analyseTCP folds per-connection byte ranges into
+// per-connection RTT/retransmit rows, probe_staple reassembles packet
+// trains into per-session throughput/object rows — and our estimators
+// consume the rows unchanged through TraceSource (trace/replay.h).
+//
+// Versioning: kSchemaVersion names the row layout; both codecs
+// (trace/codec.h) write it into their headers and refuse to read a file
+// whose version or column list disagrees, naming the offending
+// field/line. Changing TraceRecord means bumping the version and teaching
+// the codecs the old layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "video/session_record.h"
+
+namespace xp::trace {
+
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+/// Device class of the session's playback endpoint. Recorded logs carry
+/// it; our simulators do not expose it per session yet, so exports from
+/// ClusterResult/ObservationTable write kUnknown (the schema field exists
+/// so real logs round-trip without a version bump).
+enum class Device : std::uint8_t { kUnknown = 0, kMobile = 1, kHd = 2, kUhd = 3 };
+
+/// One session-log row. Field order here is the schema's column order —
+/// the CSV header and the binary row layout both follow it exactly.
+struct TraceRecord {
+  std::uint64_t session_id = 0;
+  std::uint64_t account_id = 0;
+  std::uint8_t link = 0;        ///< exposure group: which peering link
+  std::uint8_t treated = 0;     ///< arm (0 control / 1 treated)
+  std::uint32_t day = 0;        ///< absolute day since log start
+  std::uint32_t hour = 0;       ///< local hour-of-day bucket (0-23)
+  double arrival_s = 0.0;       ///< seconds since log start
+  double duration_s = 0.0;      ///< viewing duration
+  std::uint8_t device = 0;      ///< Device enum value
+
+  double startup_delay_s = 0.0;
+  std::uint8_t cancelled_start = 0;
+  std::uint32_t rebuffer_count = 0;
+  double rebuffer_s = 0.0;
+  std::uint8_t had_rebuffer = 0;
+  double mean_bitrate_bps = 0.0;   ///< time-weighted selected bitrate
+  double perceptual_quality = 0.0; ///< 0-100 mean quality score
+  double quality_integral = 0.0;   ///< quality score x seconds watched
+  double throughput_bps = 0.0;
+  double min_rtt_s = 0.0;
+  double mean_rtt_s = 0.0;
+  double retransmit_fraction = 0.0;
+  double bytes_sent = 0.0;
+  std::uint32_t bitrate_switches = 0;
+  double stability = 0.0;          ///< 1 / (1 + switches per minute)
+};
+
+/// The schema's column names, in TraceRecord field order.
+inline constexpr std::string_view kFieldNames[] = {
+    "session_id",      "account_id",       "link",
+    "treated",         "day",              "hour",
+    "arrival_s",       "duration_s",       "device",
+    "startup_delay_s", "cancelled_start",  "rebuffer_count",
+    "rebuffer_s",      "had_rebuffer",     "mean_bitrate_bps",
+    "perceptual_quality", "quality_integral", "throughput_bps",
+    "min_rtt_s",       "mean_rtt_s",       "retransmit_fraction",
+    "bytes_sent",      "bitrate_switches", "stability",
+};
+inline constexpr std::size_t kFieldCount = std::size(kFieldNames);
+
+/// Log-level metadata carried in both codecs' headers. Every field is
+/// optional on read except the schema version; unset numeric fields stay
+/// at their defaults below.
+struct TraceMeta {
+  std::uint32_t schema = kSchemaVersion;
+  std::string source;  ///< scenario key (or free text) the log came from
+  double allocation = 0.0;  ///< the design's treatment allocation
+  /// The fraction the recorded design *intended* to treat (SRM null).
+  double intended_treated_fraction = 0.0;
+  std::uint64_t seed = 0;       ///< seed of the exporting run (0 = n/a)
+  double horizon_s = 0.0;       ///< recorded horizon; 0 = derive from rows
+};
+
+/// A loaded (or about-to-be-written) log: header metadata plus rows.
+struct TraceLog {
+  TraceMeta meta;
+  std::vector<TraceRecord> records;
+};
+
+/// Validate one row against the schema's range constraints (hour <= 23,
+/// 0/1 flags, known device codes). Returns the name of the first
+/// offending field, or an empty view when the row is valid. Metric values
+/// may be NaN (corrupted-telemetry rows replay as NaN observations and
+/// degrade row-wise downstream) so no finiteness is enforced here.
+std::string_view validate_record(const TraceRecord& record) noexcept;
+
+/// SessionRecord <-> TraceRecord. Lossless in every field the estimator
+/// stack reads; device is written as kUnknown (SessionRecord does not
+/// carry it) and quality_integral as perceptual_quality x duration.
+TraceRecord to_trace_record(const video::SessionRecord& row) noexcept;
+video::SessionRecord to_session_record(const TraceRecord& row) noexcept;
+
+}  // namespace xp::trace

@@ -1,0 +1,122 @@
+#include "trace/writer.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/session_metrics.h"
+
+namespace xp::trace {
+
+TraceLog make_log(std::span<const video::SessionRecord> sessions,
+                  TraceMeta meta) {
+  TraceLog log;
+  log.meta = std::move(meta);
+  log.records.reserve(sessions.size());
+  for (const video::SessionRecord& row : sessions) {
+    log.records.push_back(to_trace_record(row));
+  }
+  return log;
+}
+
+namespace {
+
+/// Write one metric column's value into the schema field it came from
+/// (the inverse of core::metric_value). Integer-destined fields guard
+/// non-finite values (corrupted telemetry only NaNs double fields, but an
+/// arbitrary table is not bound by that).
+void apply_metric(TraceRecord& record, core::Metric metric, double value) {
+  const bool finite = std::isfinite(value);
+  switch (metric) {
+    case core::Metric::kThroughput:
+      record.throughput_bps = value;
+      break;
+    case core::Metric::kMinRtt:
+      record.min_rtt_s = value;
+      break;
+    case core::Metric::kMeanRtt:
+      record.mean_rtt_s = value;
+      break;
+    case core::Metric::kPlayDelay:
+      record.startup_delay_s = value;
+      break;
+    case core::Metric::kCancelledStart:
+      record.cancelled_start = finite && value != 0.0 ? 1 : 0;
+      break;
+    case core::Metric::kBitrate:
+      record.mean_bitrate_bps = value;
+      break;
+    case core::Metric::kPerceptualQuality:
+      record.perceptual_quality = value;
+      break;
+    case core::Metric::kRetransmitFraction:
+      record.retransmit_fraction = value;
+      break;
+    case core::Metric::kRebufferRate:
+      record.had_rebuffer = finite && value != 0.0 ? 1 : 0;
+      break;
+    case core::Metric::kRebufferCount:
+      record.rebuffer_count =
+          finite && value > 0.0 ? static_cast<std::uint32_t>(value) : 0;
+      break;
+    case core::Metric::kStability:
+      record.stability = value;
+      break;
+    case core::Metric::kBytes:
+      record.bytes_sent = value;
+      break;
+  }
+}
+
+}  // namespace
+
+TraceLog make_log(const core::ObservationTable& table, TraceMeta meta) {
+  TraceLog log;
+  log.meta = std::move(meta);
+  if (table.columns.empty()) return log;
+
+  const std::size_t rows = table.columns[0].size();
+  for (std::size_t c = 1; c < table.columns.size(); ++c) {
+    if (table.columns[c].size() != rows) {
+      throw std::invalid_argument(
+          "trace: make_log: column '" + table.metrics[c] + "' has " +
+          std::to_string(table.columns[c].size()) + " rows, column '" +
+          table.metrics[0] + "' has " + std::to_string(rows) +
+          " (columns must be row-aligned)");
+    }
+  }
+
+  // Resolve which schema metric each column carries once, not per row.
+  std::vector<int> column_metric(table.columns.size(), -1);
+  for (std::size_t c = 0; c < table.columns.size(); ++c) {
+    for (core::Metric metric : core::kAllMetrics) {
+      if (table.metrics[c] == core::metric_name(metric)) {
+        column_metric[c] = static_cast<int>(metric);
+        break;
+      }
+    }
+  }
+
+  log.records.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const core::Observation& unit = table.columns[0][r];
+    TraceRecord& record = log.records[r];
+    record.session_id = unit.unit;
+    record.account_id = unit.account;
+    record.link = unit.group;
+    record.treated = unit.treated ? 1 : 0;
+    record.day = unit.day;
+    record.hour = unit.hour_of_day;
+    // Tables carry hour buckets, not timestamps: quantize.
+    record.arrival_s = static_cast<double>(unit.hour_index) * 3600.0;
+    record.device = static_cast<std::uint8_t>(Device::kUnknown);
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (column_metric[c] < 0) continue;
+      apply_metric(record, static_cast<core::Metric>(column_metric[c]),
+                   table.columns[c][r].outcome);
+    }
+  }
+  return log;
+}
+
+}  // namespace xp::trace

@@ -15,6 +15,8 @@
 #include "core/designs/gradual.h"
 #include "lab/experiment.h"
 #include "lab/registry.h"
+#include "trace/codec.h"
+#include "trace/writer.h"
 #include "util/runner.h"
 
 namespace xp {
@@ -66,7 +68,8 @@ TEST(Registry, ListsTheBuiltinScenarios) {
         "dumbbell/bbr_vs_cubic", "paired_links/experiment",
         "paired_links/baseline", "paired_links/cap_50",
         "paired_links/drop_top", "paired_links/abr_swap",
-        "paired_links/bba_vs_rate"}) {
+        "paired_links/bba_vs_rate", "trace/replay",
+        "trace/self_calibration"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing scenario: " << expected;
   }
@@ -102,11 +105,27 @@ TEST(Registry, DuplicateRegistrationThrows) {
 TEST(Registry, EveryScenarioIsBitIdenticalAcrossThreadCounts) {
   util::Runner serial(1);
   util::Runner pool(4);
+  // trace/replay needs a recorded log; export one smoke world for it
+  // (the other scenarios ignore the path).
+  const std::string trace_path =
+      ::testing::TempDir() + "registry_smoke_trace.xpt";
+  {
+    const auto source =
+        lab::make_scenario("paired_links/experiment", smoke_options());
+    trace::TraceMeta meta;
+    meta.source = "paired_links/experiment";
+    meta.allocation = 0.95;
+    meta.intended_treated_fraction = source->intended_treated_fraction(0.95);
+    meta.seed = 5;
+    trace::write_trace_file(trace_path,
+                            trace::make_log(source->run(0.95, 5), meta));
+  }
   for (const std::string& name : lab::scenario_names()) {
     SCOPED_TRACE(name);
     lab::ExperimentSpec spec;
     spec.scenario = name;
     spec.tuning = smoke_options();
+    spec.tuning.trace_path = trace_path;
     spec.replicates = 2;
     spec.seed = 7;
 
