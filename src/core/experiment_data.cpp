@@ -46,6 +46,9 @@ CompletionManifest ExperimentReport::manifest() const noexcept {
       case CellState::kQualityHold:
         ++manifest.quality_hold;
         break;
+      case CellState::kBudgetExceeded:
+        ++manifest.budget_exceeded;
+        break;
     }
   }
   return manifest;

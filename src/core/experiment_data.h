@@ -21,11 +21,15 @@ namespace xp::core {
 
 /// What happened to one (allocation, replicate) cell of the sweep.
 enum class CellState : std::uint8_t {
-  kOk,           ///< simulated and passed the quality gate
-  kFailed,       ///< threw on every attempt (FailurePolicy::retry)
-  kSkipped,      ///< threw once and was skipped (FailurePolicy::skip)
-  kQualityHold,  ///< simulated but the table is unusable (no rows /
-                 ///< all-non-finite outcomes); estimators null it out
+  kOk,              ///< simulated and passed the quality gate
+  kFailed,          ///< threw on every attempt (FailurePolicy::retry)
+  kSkipped,         ///< threw once and was skipped (FailurePolicy::skip)
+  kQualityHold,     ///< simulated but the table is unusable (no rows /
+                    ///< all-non-finite outcomes); estimators null it out
+  kBudgetExceeded,  ///< crossed its deterministic work budget
+                    ///< (util/budget.h); terminal under every policy —
+                    ///< the same cap against the same (config, seed)
+                    ///< always trips again, so retries are pointless
 };
 
 constexpr const char* cell_state_name(CellState state) noexcept {
@@ -38,6 +42,8 @@ constexpr const char* cell_state_name(CellState state) noexcept {
       return "skipped";
     case CellState::kQualityHold:
       return "quality_hold";
+    case CellState::kBudgetExceeded:
+      return "budget_exceeded";
   }
   return "?";
 }
@@ -73,6 +79,7 @@ struct CompletionManifest {
   std::size_t failed = 0;
   std::size_t skipped = 0;
   std::size_t quality_hold = 0;
+  std::size_t budget_exceeded = 0;
   std::size_t srm_flagged = 0;  ///< OK cells whose SRM guardrail tripped
   std::size_t attempts = 0;     ///< simulation attempts across all cells
   bool complete() const noexcept { return ok == cells; }

@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "core/data_quality.h"
+#include "lab/journal.h"
 #include "stats/rng.h"
+#include "util/budget.h"
 
 namespace xp::lab {
 
@@ -22,8 +24,11 @@ void check(bool ok, const std::string& field, const std::string& requirement) {
 
 /// Run one cell's simulation under the failure policy. Writes the table,
 /// status (state, error, attempts), and the seed actually used; rethrows
-/// only in fail-fast mode (the Runner collects the first exception and
-/// rethrows it after every other index has run).
+/// only in fail-fast mode (the Runner collects the first exception,
+/// cancels not-yet-started cells through the stop token, and rethrows
+/// after the in-flight cells finish). A blown work budget is terminal
+/// under every policy: util::BudgetExceeded is deterministic in
+/// (config, seed), so retrying or aborting the sweep over it is noise.
 void run_cell(core::ExperimentCell& cell, const DataSource& source,
               std::uint64_t base_seed, const FailurePolicy& policy) {
   const std::uint32_t max_attempts =
@@ -39,6 +44,11 @@ void run_cell(core::ExperimentCell& cell, const DataSource& source,
       cell.table = source.run(cell.allocation, cell.seed);
       cell.status.state = core::CellState::kOk;
       cell.status.error.clear();
+      return;
+    } catch (const util::BudgetExceeded& e) {
+      cell.status.error = e.what();
+      cell.status.state = core::CellState::kBudgetExceeded;
+      cell.table = ObservationTable{};
       return;
     } catch (const std::exception& e) {
       cell.status.error = e.what();
@@ -104,10 +114,21 @@ std::uint64_t estimator_seed(std::uint64_t base,
 }
 
 ExperimentReport run_experiment(const ExperimentSpec& spec) {
-  return run_experiment(spec, util::global_runner());
+  return run_experiment(spec, JournalOptions{}, util::global_runner());
 }
 
 ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                util::Runner& runner) {
+  return run_experiment(spec, JournalOptions{}, runner);
+}
+
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                const JournalOptions& journal) {
+  return run_experiment(spec, journal, util::global_runner());
+}
+
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                const JournalOptions& journal_options,
                                 util::Runner& runner) {
   const std::unique_ptr<DataSource> source =
       make_scenario(spec.scenario, spec.tuning);
@@ -136,25 +157,67 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
   report.replicates = spec.replicates;
   report.cells.resize(report.allocations.size() * report.replicates);
 
+  // Durability (lab/journal.h): replay previously journaled cells of
+  // this exact spec, append every newly terminal cell as it completes.
+  // The journal's replay map is immutable during the sweep (appends only
+  // touch the file), so find() is safe from every worker.
+  std::unique_ptr<CellJournal> journal;
+  std::uint64_t fingerprint = 0;
+  if (!journal_options.directory.empty()) {
+    fingerprint = journal_fingerprint(spec);
+    journal =
+        std::make_unique<CellJournal>(journal_path(journal_options.directory));
+  }
+
   // Cells are independent worlds with index-derived seeds written into
   // index-addressed slots: bit-for-bit identical at any thread count.
   // Failures are isolated per cell under spec.on_failure, and every OK
-  // cell's table passes through the data-quality guardrails.
-  runner.parallel_for(report.cells.size(), [&](std::size_t i) {
-    ExperimentCell& cell = report.cells[i];
-    cell.allocation = report.allocations[i / report.replicates];
-    cell.replicate = i % report.replicates;
-    run_cell(cell, *source, cell_seed(spec.seed, i), spec.on_failure);
-    if (cell.status.ok()) {
-      cell.quality = core::assess_quality(
-          cell.table, source->intended_treated_fraction(cell.allocation),
-          spec.quality);
-      if (cell.quality.unusable()) {
-        cell.status.state = core::CellState::kQualityHold;
-        cell.status.error = cell.quality.summary();
-      }
-    }
-  });
+  // cell's table passes through the data-quality guardrails. The stop
+  // token turns the first escaping error (a fail_fast cell, a dead
+  // journal) into prompt cancellation: in-flight cells finish, cells not
+  // yet started are skipped, and the error is rethrown.
+  util::StopToken stop;
+  runner.parallel_for(
+      report.cells.size(),
+      [&](std::size_t i) {
+        try {
+          ExperimentCell& cell = report.cells[i];
+          cell.allocation = report.allocations[i / report.replicates];
+          cell.replicate = i % report.replicates;
+          const std::uint64_t seed = cell_seed(spec.seed, i);
+          const std::uint64_t key =
+              journal ? journal_cell_key(fingerprint, cell.allocation, seed)
+                      : 0;
+          if (journal) {
+            if (const core::ExperimentCell* hit =
+                    journal->find(key, cell.allocation, seed)) {
+              cell.seed = hit->seed;
+              cell.status = hit->status;
+              cell.quality = hit->quality;
+              cell.table = hit->table;
+              return;  // replayed from disk; nothing to recompute
+            }
+          }
+          run_cell(cell, *source, seed, spec.on_failure);
+          if (cell.status.ok()) {
+            cell.quality = core::assess_quality(
+                cell.table, source->intended_treated_fraction(cell.allocation),
+                spec.quality);
+            if (cell.quality.unusable()) {
+              cell.status.state = core::CellState::kQualityHold;
+              cell.status.error = cell.quality.summary();
+            }
+          }
+          // Journal only terminal cells, after the quality gate: a crash
+          // between append and return costs nothing (the cell replays),
+          // a crash mid-append tears only the file's tail.
+          if (journal) journal->append(key, cell);
+        } catch (...) {
+          stop.request_stop();
+          throw;
+        }
+      },
+      &stop);
 
   // Analysis stage: fan (estimator, metric) jobs across the runner. Each
   // job's substream derives from its (estimator, metric) indices — not

@@ -30,13 +30,20 @@ using ExperimentReport = core::ExperimentReport;
 
 /// What the pipeline does when a cell's simulation throws.
 ///
-///   fail_fast — rethrow after the sweep finishes (every other cell still
-///               runs; the default, and the pre-existing behaviour).
+///   fail_fast — request a cooperative stop (util::StopToken), let cells
+///               already running finish, skip cells not yet started, and
+///               rethrow the first error (the default).
 ///   skip      — mark the cell CellState::kSkipped and carry on; the
 ///               report is partial and its manifest says so.
 ///   retry(n)  — re-run the cell with a fresh deterministic seed
 ///               (substream_seed(cell_seed, attempt)) up to n attempts,
 ///               then mark it CellState::kFailed.
+///
+/// A blown work budget (SourceOptions::budget / util::BudgetExceeded) is
+/// NOT a failure in this sense: it is deterministic — the same cap
+/// against the same (config, seed) trips identically every time — so the
+/// cell is marked CellState::kBudgetExceeded under *every* policy,
+/// without retries and without aborting the sweep.
 struct FailurePolicy {
   enum class Mode : std::uint8_t { kFailFast, kSkip, kRetry };
   Mode mode = Mode::kFailFast;
@@ -59,6 +66,8 @@ struct FailurePolicy {
 
 struct ExperimentSpec {
   std::string scenario;  ///< registry key (see lab/registry.h)
+  /// Source knobs, including the per-cell work budget
+  /// (SourceOptions::budget — events/ticks/rows by backend).
   SourceOptions tuning;
   /// Sweep points; empty means {source->default_allocation()}.
   std::vector<double> allocations;
@@ -98,10 +107,28 @@ std::uint64_t cell_seed(std::uint64_t base, std::size_t index) noexcept;
 std::uint64_t estimator_seed(std::uint64_t base,
                              std::size_t estimator_index) noexcept;
 
+/// Crash-safe durability for run_experiment (see lab/journal.h for the
+/// on-disk format and the content-key staleness contract). With a
+/// non-empty directory, every terminal cell is appended to
+/// <directory>/cells.xpj as it completes, and a later run of the same
+/// spec replays journaled cells instead of recomputing them — the
+/// resumed report (cells and estimates) is bit-identical to an
+/// uninterrupted run at any thread count. An empty directory (the
+/// default) disables journaling entirely.
+struct JournalOptions {
+  std::string directory;
+};
+
 /// Run the spec on the process-wide runner / an explicit runner (tests pin
-/// 1 vs N threads with the latter).
+/// 1 vs N threads with the latter). The JournalOptions overloads resume
+/// from / append to a cell journal (see above).
 ExperimentReport run_experiment(const ExperimentSpec& spec);
 ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                util::Runner& runner);
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                const JournalOptions& journal);
+ExperimentReport run_experiment(const ExperimentSpec& spec,
+                                const JournalOptions& journal,
                                 util::Runner& runner);
 
 }  // namespace xp::lab

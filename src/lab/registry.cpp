@@ -158,17 +158,24 @@ class PairedLinkSource final : public DataSource {
 
 // ------------------------------------------------------------- registry ----
 
-LabConfig scaled(LabConfig config, double scale) {
-  config.dumbbell.warmup *= scale;
-  config.dumbbell.duration *= scale;
+// Apply the per-factory SourceOptions knobs every backend honors:
+// duration_scale shrinks the horizon, budget caps the run's simulated
+// work in the backend's own currency (events / ticks; trace factories
+// map it to rows themselves).
+LabConfig tuned(LabConfig config, const SourceOptions& opt) {
+  config.dumbbell.warmup *= opt.duration_scale;
+  config.dumbbell.duration *= opt.duration_scale;
+  config.dumbbell.max_events = opt.budget.max_work_units;
   return config;
 }
 
-video::ClusterConfig scaled(video::ClusterConfig config, double scale) {
-  config.days *= scale;
+video::ClusterConfig tuned(video::ClusterConfig config,
+                           const SourceOptions& opt) {
+  config.days *= opt.duration_scale;
   // Fault windows are authored in canonical 5-day seconds; shrink them
   // with the horizon or a smoke run never reaches its faults.
-  config.faults.scale_time(scale);
+  config.faults.scale_time(opt.duration_scale);
+  config.max_ticks = opt.budget.max_work_units;
   return config;
 }
 
@@ -176,8 +183,7 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
   const auto dumbbell = [&](const char* name, Treatment treatment) {
     reg.emplace(name, [name, treatment](const SourceOptions& opt) {
       return std::make_unique<DumbbellSource>(
-          name, treatment,
-          scaled(canonical_lab_config(), opt.duration_scale));
+          name, treatment, tuned(canonical_lab_config(), opt));
     });
   };
   dumbbell("dumbbell/two_connections", Treatment::kTwoConnections);
@@ -187,13 +193,12 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
   reg.emplace("paired_links/experiment", [](const SourceOptions& opt) {
     return std::make_unique<PairedLinkSource>(
         "paired_links/experiment",
-        scaled(canonical_experiment_config(), opt.duration_scale),
+        tuned(canonical_experiment_config(), opt),
         /*allocation_sets_treatment=*/true);
   });
   reg.emplace("paired_links/baseline", [](const SourceOptions& opt) {
     return std::make_unique<PairedLinkSource>(
-        "paired_links/baseline",
-        scaled(canonical_baseline_config(), opt.duration_scale),
+        "paired_links/baseline", tuned(canonical_baseline_config(), opt),
         /*allocation_sets_treatment=*/false);
   });
 
@@ -203,8 +208,7 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
   const auto paired_policy = [&](const char* name, const char* control,
                                  const char* treatment) {
     reg.emplace(name, [name, control, treatment](const SourceOptions& opt) {
-      video::ClusterConfig config =
-          scaled(canonical_experiment_config(), opt.duration_scale);
+      video::ClusterConfig config = tuned(canonical_experiment_config(), opt);
       config.control_policy = control;
       config.treatment_policy = treatment;
       return std::make_unique<PairedLinkSource>(
@@ -232,7 +236,7 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
       video::ClusterConfig config = canonical_experiment_config();
       config.faults = plan();
       return std::make_unique<PairedLinkSource>(
-          name, scaled(config, opt.duration_scale),
+          name, tuned(config, opt),
           /*allocation_sets_treatment=*/true);
     });
   };
@@ -282,6 +286,7 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
     trace::ReplayConfig config;
     config.name = "trace/replay";
     config.duration_scale = opt.duration_scale;
+    config.max_rows = opt.budget.max_work_units;
     return std::make_unique<trace::TraceSource>(trace::read_trace_file(path),
                                                 std::move(config));
   });
@@ -293,8 +298,13 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
   // with the direct paired_links/experiment run within the bootstrap
   // band — tests/trace_test.cpp and examples/trace_replay.cpp check it.
   reg.emplace("trace/self_calibration", [](const SourceOptions& opt) {
+    // The construction-time simulation runs unbudgeted (it is the
+    // canonical, bounded week); the trace backend's budget currency is
+    // replayed rows, applied below like trace/replay.
+    SourceOptions sim_opt = opt;
+    sim_opt.budget = {};
     video::ClusterConfig config =
-        scaled(canonical_experiment_config(), opt.duration_scale);
+        tuned(canonical_experiment_config(), sim_opt);
     const video::ClusterResult result = video::run_paired_links(config);
     trace::TraceMeta meta;
     meta.source = "paired_links/experiment";
@@ -309,6 +319,7 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
     // The horizon was already scaled at simulation time; the replay side
     // keeps the whole exported log.
     replay.duration_scale = 1.0;
+    replay.max_rows = opt.budget.max_work_units;
     return std::make_unique<trace::TraceSource>(
         trace::make_log(result.sessions, std::move(meta)), std::move(replay));
   });

@@ -44,6 +44,7 @@
 #include "core/designs/gradual.h"
 #include "lab/datasource.h"
 #include "lab/scenarios.h"
+#include "util/budget.h"
 #include "video/cluster.h"
 
 namespace xp::lab {
@@ -61,6 +62,15 @@ struct SourceOptions {
   /// factory throws (naming both knobs) when neither is set. Generative
   /// scenarios ignore it.
   std::string trace_path;
+  /// Per-run work budget (util/budget.h), counted in the backend's own
+  /// simulated-work currency: simulator events for dumbbell/*, cluster
+  /// ticks for paired_links/*, replayed rows for trace/*. A run that
+  /// crosses the cap throws util::BudgetExceeded from its main loop —
+  /// never a hang, never wall-clock-dependent — and the experiment
+  /// pipeline records the cell as CellState::kBudgetExceeded. The
+  /// default (0) is unlimited and leaves every run bit-identical to a
+  /// budget-free build.
+  util::RunBudget budget;
 };
 
 using SourceFactory =

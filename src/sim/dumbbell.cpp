@@ -17,6 +17,7 @@ DumbbellResult run_dumbbell(const DumbbellConfig& config,
   }
 
   Simulator sim;
+  sim.set_event_budget(config.max_events);
   stats::Rng rng(config.seed);
 
   const Time base_rtt = config.forward_delay + config.reverse_delay;

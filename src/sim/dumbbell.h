@@ -40,6 +40,10 @@ struct DumbbellConfig {
   /// Stretch-ACK factor. Real 10G receivers run GRO, which coalesces many
   /// segments per ACK and makes unpaced senders bursty; 8 approximates it.
   std::uint32_t ack_every = 8;
+  /// Cooperative work budget in simulator events (util/budget.h):
+  /// run_dumbbell throws util::BudgetExceeded instead of executing event
+  /// max_events + 1. 0 (the default) is unlimited.
+  std::uint64_t max_events = 0;
   std::uint64_t seed = 1;
 };
 

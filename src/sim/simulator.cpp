@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "util/budget.h"
+
 namespace xp::sim {
 
 EventId Simulator::schedule_at(Time at, Callback&& callback) {
@@ -20,6 +22,12 @@ void Simulator::run_until(Time until) {
   Time at = 0.0;
   Callback callback;
   while (!stopped_ && queue_.pop_until(until, at, callback)) {
+    // Budget check between events (one predictable compare in the
+    // unlimited case): the popped event is charged before it runs, so an
+    // exhausted budget throws instead of executing event budget + 1.
+    if (event_budget_ != 0 && executed_ >= event_budget_) {
+      util::throw_budget_exceeded("sim", "events", event_budget_);
+    }
     now_ = at;
     ++executed_;
     callback();

@@ -37,6 +37,15 @@ class Simulator {
   /// Stop a run_until/run loop from inside a callback.
   void stop() noexcept { stopped_ = true; }
 
+  /// Cooperative work budget: run_until throws util::BudgetExceeded
+  /// before executing event max_events + 1 (0 = unlimited, the default).
+  /// The cap counts *lifetime* executed events, checked between events —
+  /// a runaway event cascade can overshoot by at most one callback, and
+  /// whether the budget trips is a pure function of (config, seed).
+  void set_event_budget(std::uint64_t max_events) noexcept {
+    event_budget_ = max_events;
+  }
+
   std::uint64_t events_executed() const noexcept { return executed_; }
   std::uint64_t events_scheduled() const noexcept {
     return queue_.scheduled_count();
@@ -46,6 +55,7 @@ class Simulator {
   EventQueue queue_;
   Time now_ = 0.0;
   std::uint64_t executed_ = 0;
+  std::uint64_t event_budget_ = 0;  ///< 0 = unlimited
   bool stopped_ = false;
 };
 

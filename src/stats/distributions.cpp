@@ -59,7 +59,20 @@ double normal_inv(double p) noexcept {
   return x;
 }
 
+#if defined(__GLIBC__)
+// glibc's lgamma writes the global `signgam` as a side effect, which is a
+// data race when estimator cells run concurrently. The reentrant variant
+// takes the sign out-parameter instead; it is hidden under strict -std=c++20
+// so declare it ourselves.
+extern "C" double lgamma_r(double, int*) noexcept;
+
+double lgamma_fn(double x) noexcept {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+#else
 double lgamma_fn(double x) noexcept { return std::lgamma(x); }
+#endif
 
 namespace {
 

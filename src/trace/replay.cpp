@@ -6,6 +6,7 @@
 
 #include "core/session_metrics.h"
 #include "stats/rng.h"
+#include "util/budget.h"
 
 namespace xp::trace {
 
@@ -24,6 +25,7 @@ std::uint64_t cell_key(const video::SessionRecord& row) noexcept {
 TraceSource::TraceSource(TraceLog log, ReplayConfig config)
     : name_(std::move(config.name)),
       mode_(config.mode),
+      max_rows_(config.max_rows),
       meta_(std::move(log.meta)) {
   // Horizon truncation (SourceOptions::duration_scale semantics): only
   // sessions arriving before scale x recorded-horizon replay. A header
@@ -110,9 +112,17 @@ core::ObservationTable TraceSource::run(double /*allocation*/,
         for (std::uint32_t r = cell.begin; r < cell.end; ++r) {
           resampled.push_back(sessions_[cell_rows_[r]]);
         }
+        // Budget check between drawn cells (hourly blocks stay whole):
+        // a replicate that crosses the row cap throws here instead of
+        // materializing the rest of the week.
+        if (max_rows_ != 0 && resampled.size() > max_rows_) {
+          util::throw_budget_exceeded("trace replay", "rows", max_rows_);
+        }
       }
     }
     rows = &resampled;
+  } else if (max_rows_ != 0 && sessions_.size() > max_rows_) {
+    util::throw_budget_exceeded("trace replay", "rows", max_rows_);
   }
 
   core::ObservationTable table;

@@ -48,6 +48,12 @@ struct ReplayConfig {
   /// Truncate the replayed horizon to this fraction of the recorded one
   /// (values >= 1 replay the full log; recorded data cannot be extended).
   double duration_scale = 1.0;
+  /// Cooperative work budget in replayed rows (util/budget.h): run()
+  /// throws util::BudgetExceeded once a replicate's materialized rows
+  /// cross the cap — checked between drawn hourly cells, so blocks stay
+  /// whole and the overshoot is at most one cell. 0 (the default) is
+  /// unlimited.
+  std::uint64_t max_rows = 0;
 };
 
 class TraceSource final : public core::DataSource {
@@ -87,6 +93,7 @@ class TraceSource final : public core::DataSource {
 
   std::string name_;
   ReplayMode mode_;
+  std::uint64_t max_rows_ = 0;  ///< ReplayConfig::max_rows (0 = unlimited)
   TraceMeta meta_;
   double observed_treated_fraction_ = 0.0;
   std::vector<video::SessionRecord> sessions_;  ///< log order, truncated

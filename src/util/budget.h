@@ -1,0 +1,58 @@
+// Deterministic work budgets: bound a run by *simulated* work, never by
+// wall clock.
+//
+// A RunBudget caps the work one data-generating run may perform, counted
+// in the backend's own currency — simulator events for sim/, cluster
+// ticks for video/, replayed rows for trace/. Each backend checks the
+// budget cooperatively inside its main loop and throws BudgetExceeded the
+// moment the cap is crossed, so a runaway cell can never hang a sweep.
+// Because the unit is simulated work, whether a budget trips is a pure
+// function of (config, seed) — the same run either always exceeds it or
+// never does, at any thread count, on any machine.
+//
+// The experiment pipeline (lab/experiment.h) maps BudgetExceeded to
+// CellState::kBudgetExceeded: terminal for the cell (retrying identical
+// work against the same cap is pointless), never fatal for the sweep.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace xp::util {
+
+/// A cap on simulated work units. The unit is whatever the consuming
+/// backend counts in its main loop (events, ticks, rows); 0 disables the
+/// cap entirely — the default, which costs the hot loops only a
+/// predictable integer compare.
+struct RunBudget {
+  std::uint64_t max_work_units = 0;  ///< 0 = unlimited
+
+  bool unlimited() const noexcept { return max_work_units == 0; }
+};
+
+/// Thrown by a backend's main loop when a RunBudget is crossed. Carries
+/// the cap so callers can report it without parsing what().
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(const std::string& what, std::uint64_t limit)
+      : std::runtime_error(what), limit_(limit) {}
+
+  std::uint64_t limit() const noexcept { return limit_; }
+
+ private:
+  std::uint64_t limit_;
+};
+
+/// The one way backends report a blown budget, so every message names the
+/// backend, the currency, and the cap the same way:
+///   "sim: work budget exceeded (1000 events)".
+[[noreturn]] inline void throw_budget_exceeded(const char* backend,
+                                               const char* unit,
+                                               std::uint64_t limit) {
+  throw BudgetExceeded(std::string(backend) + ": work budget exceeded (" +
+                           std::to_string(limit) + " " + unit + ")",
+                       limit);
+}
+
+}  // namespace xp::util

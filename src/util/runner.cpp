@@ -16,11 +16,13 @@ namespace {
 /// One parallel_for invocation: an atomic index dispenser plus completion
 /// tracking. Lives on the shared_ptr until the last participant drops it.
 struct Job {
-  Job(std::size_t n, const std::function<void(std::size_t)>& body)
-      : n(n), body(body) {}
+  Job(std::size_t n, const std::function<void(std::size_t)>& body,
+      StopToken* stop)
+      : n(n), body(body), stop(stop) {}
 
   const std::size_t n;
   const std::function<void(std::size_t)>& body;
+  StopToken* const stop;  // optional cooperative cancellation
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
 
@@ -28,16 +30,20 @@ struct Job {
   std::condition_variable all_done;
   std::exception_ptr error;  // first exception wins (under mu)
 
-  /// Claim and run indices until the dispenser is exhausted.
+  /// Claim and run indices until the dispenser is exhausted. Once a stop
+  /// is requested, remaining indices are still claimed and counted (the
+  /// completion wait must reach n) but their bodies are skipped.
   void drain() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!error) error = std::current_exception();
+      if (!(stop && stop->stop_requested())) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
       }
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::lock_guard<std::mutex> lock(mu);  // pairs with the wait
@@ -102,13 +108,16 @@ std::size_t Runner::thread_count() const noexcept {
 }
 
 void Runner::parallel_for(std::size_t n,
-                          const std::function<void(std::size_t)>& body) {
+                          const std::function<void(std::size_t)>& body,
+                          StopToken* stop) {
   if (n == 0) return;
   if (impl_->workers.empty() || n == 1) {
-    // Same exception contract as the threaded path: every index runs,
-    // the first exception is rethrown after the loop.
+    // Same exception/stop contract as the threaded path: every index runs
+    // unless a stop was requested first, the first exception is rethrown
+    // after the loop.
     std::exception_ptr error;
     for (std::size_t i = 0; i < n; ++i) {
+      if (stop && stop->stop_requested()) break;
       try {
         body(i);
       } catch (...) {
@@ -119,7 +128,7 @@ void Runner::parallel_for(std::size_t n,
     return;
   }
 
-  auto job = std::make_shared<Job>(n, body);
+  auto job = std::make_shared<Job>(n, body, stop);
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->jobs.push_back(job);

@@ -21,11 +21,30 @@
 // and a Runner with 1 thread degrades to plain serial execution.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <vector>
 
 namespace xp::util {
+
+/// Cooperative cancellation flag for parallel_for: any participant (a
+/// body that hit a fatal error, a watchdog, the pipeline's fail_fast
+/// path) calls request_stop(), and indices that have not yet *started*
+/// are skipped. Indices already running always finish — nothing is
+/// interrupted mid-body, so completed results are never torn.
+class StopToken {
+ public:
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+  }
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
 
 class Runner {
  public:
@@ -40,11 +59,17 @@ class Runner {
   /// Total threads that can execute jobs (workers + caller).
   std::size_t thread_count() const noexcept;
 
-  /// Run body(0) .. body(n-1), in parallel, returning when all complete.
-  /// The first exception thrown by any index is rethrown to the caller
-  /// (remaining indices still run). Safe to call from inside a body.
+  /// Run body(0) .. body(n-1), in parallel, returning when all complete
+  /// or — with a stop token — when every not-yet-started index has been
+  /// skipped. The first exception thrown by any index is rethrown to the
+  /// caller; without a token, remaining indices still run (the
+  /// pre-existing contract), while a token lets a body cancel the
+  /// remainder promptly via stop->request_stop(). Indices already running
+  /// when the stop lands always finish, so their results are never torn.
+  /// Safe to call from inside a body.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    StopToken* stop = nullptr);
 
   /// Map i -> job(i) into an index-ordered vector.
   template <typename R>

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/budget.h"
 #include "video/session_pool.h"
 
 namespace xp::video {
@@ -154,7 +155,16 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
   const bool has_link_faults = !config.faults.link_faults.empty();
   const bool has_demand_faults = !config.faults.demand_faults.empty();
 
+  std::uint64_t ticks_run = 0;
   for (double t = 0.0; t < horizon; t += dt) {
+    // Budget check at the top of the tick (one predictable compare per
+    // tick in the unlimited case, outside every vectorized inner loop):
+    // an exhausted budget throws instead of starting tick max_ticks + 1.
+    if (config.max_ticks != 0 && ticks_run >= config.max_ticks) {
+      util::throw_budget_exceeded("video::run_paired_links", "ticks",
+                                  config.max_ticks);
+    }
+    ++ticks_run;
     // --- Arrivals (shared demand pool, hash-routed to a link) ---
     const double rate_scale =
         has_demand_faults ? demand_multiplier(config.faults, t) : 1.0;

@@ -75,6 +75,11 @@ struct ClusterConfig {
   double days = 5.0;
   double tick_seconds = 1.0;
 
+  /// Cooperative work budget in cluster ticks (util/budget.h):
+  /// run_paired_links throws util::BudgetExceeded instead of starting
+  /// tick max_ticks + 1. 0 (the default) is unlimited.
+  std::uint64_t max_ticks = 0;
+
   /// Deterministic fault plan (video/faults.h). The default plan is empty
   /// and the run is bit-identical to a cluster with no fault code; a
   /// non-empty plan is still a pure function of (config, seed).

@@ -50,6 +50,77 @@ TEST(Runner, PropagatesFirstException) {
                std::runtime_error);
 }
 
+TEST(Runner, StopTokenSkipsNotYetStartedIndicesSerially) {
+  // Serial runner: indices run strictly in order, so the cut is exact —
+  // the index that requests the stop finishes, everything after it is
+  // skipped.
+  util::Runner runner(1);
+  util::StopToken stop;
+  std::vector<int> hits(10, 0);
+  runner.parallel_for(
+      hits.size(),
+      [&](std::size_t i) {
+        ++hits[i];
+        if (i == 2) stop.request_stop();
+      },
+      &stop);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i <= 2 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(Runner, StopTokenCancelsThreadedWorkWithoutHanging) {
+  // Threaded: an early stop must still terminate the completion wait (a
+  // skipped index counts as completed), in-flight indices finish, and no
+  // index ever runs twice.
+  util::Runner runner(4);
+  util::StopToken stop;
+  std::vector<std::atomic<int>> hits(1000);
+  std::atomic<std::size_t> executed{0};
+  runner.parallel_for(
+      hits.size(),
+      [&](std::size_t i) {
+        ++hits[i];
+        if (executed.fetch_add(1) == 4) stop.request_stop();
+      },
+      &stop);
+  std::size_t ran = 0;
+  for (const auto& h : hits) {
+    EXPECT_LE(h.load(), 1);
+    ran += static_cast<std::size_t>(h.load());
+  }
+  EXPECT_GE(ran, 5u);                // the stopping index and its elders
+  EXPECT_LT(ran, hits.size());       // the bulk was cancelled
+  EXPECT_TRUE(stop.stop_requested());
+}
+
+TEST(Runner, StopTokenStillRethrowsTheFirstException) {
+  // The fail_fast pattern: a body throws after requesting the stop; the
+  // remainder is skipped but the error still reaches the caller.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE(threads);
+    util::Runner runner(threads);
+    util::StopToken stop;
+    std::atomic<int> ran{0};
+    try {
+      runner.parallel_for(
+          64,
+          [&](std::size_t i) {
+            ++ran;
+            if (i == 3) {
+              stop.request_stop();
+              throw std::runtime_error("boom at 3");
+            }
+          },
+          &stop);
+      FAIL() << "expected the body's exception to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 3");
+    }
+    EXPECT_LT(ran.load(), 64);
+  }
+}
+
 TEST(Runner, NestedParallelForCompletes) {
   // A bootstrap inside a sweep point: the caller participates in its own
   // job, so nesting must not deadlock even with every worker busy.

@@ -6,6 +6,7 @@
 // or a named error — never a crash.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -23,6 +24,7 @@
 #include "lab/experiment.h"
 #include "lab/registry.h"
 #include "stats/rng.h"
+#include "util/budget.h"
 #include "util/runner.h"
 #include "video/cluster.h"
 #include "video/faults.h"
@@ -39,7 +41,15 @@ std::set<std::uint64_t>& poisoned_seeds() {
   return seeds;
 }
 
-enum class Kind { kClean, kFlaky, kEmpty, kAllNan, kSingleArm };
+/// TestSource::run invocations across all kinds — the observable the
+/// cooperative-cancellation tests pin (how many cells actually simulated
+/// before fail_fast stopped the sweep).
+std::atomic<std::uint64_t>& test_source_runs() {
+  static std::atomic<std::uint64_t> runs{0};
+  return runs;
+}
+
+enum class Kind { kClean, kFlaky, kBudget, kEmpty, kAllNan, kSingleArm };
 
 /// A tiny synthetic world: ~300 units with hour/day structure so every
 /// design has something to chew on, pure in (allocation, seed). kClean
@@ -55,9 +65,13 @@ class TestSource final : public lab::DataSource {
 
   lab::ObservationTable run(double allocation,
                             std::uint64_t seed) const override {
+    ++test_source_runs();
     if (kind_ == Kind::kFlaky && poisoned_seeds().count(seed) > 0) {
       throw std::runtime_error("injected infrastructure fault (seed " +
                                std::to_string(seed) + ")");
+    }
+    if (kind_ == Kind::kBudget && poisoned_seeds().count(seed) > 0) {
+      util::throw_budget_exceeded("test source", "units", 42);
     }
     lab::ObservationTable table;
     if (kind_ == Kind::kEmpty) return table;
@@ -100,6 +114,7 @@ void ensure_test_scenarios() {
     };
     add("test/clean", Kind::kClean);
     add("test/flaky", Kind::kFlaky);
+    add("test/budget", Kind::kBudget);
     add("test/empty", Kind::kEmpty);
     add("test/nan", Kind::kAllNan);
     add("test/single_arm", Kind::kSingleArm);
@@ -499,6 +514,138 @@ TEST(FailurePolicy, AllCellsFailedStillYieldsNamedEmptyTables) {
   ASSERT_EQ(report.estimates.size(), 2u);
   EXPECT_TRUE(report.estimates_for("naive/ab").rows.empty());
   EXPECT_TRUE(report.estimates_for("guardrail/srm").rows.empty());
+}
+
+TEST(FailurePolicy, FailFastCancelsNotYetStartedCellsPromptly) {
+  // Serial runner: cells run strictly in index order, so the number of
+  // source runs after a poisoned cell is exact — the stop token must
+  // cancel every cell after the failing one, not "eventually".
+  util::Runner serial(1);
+  lab::ExperimentSpec spec = synthetic_spec("test/flaky");
+  spec.replicates = 6;
+  const auto runs_until_abort = [&](std::size_t poison_index) {
+    poisoned_seeds() = {lab::cell_seed(spec.seed, poison_index)};
+    const std::uint64_t before = test_source_runs().load();
+    EXPECT_THROW(lab::run_experiment(spec, serial), std::runtime_error);
+    poisoned_seeds().clear();
+    return test_source_runs().load() - before;
+  };
+  EXPECT_EQ(runs_until_abort(0), 1u);  // cells 1..5 never started
+  EXPECT_EQ(runs_until_abort(3), 4u);  // cells 0..2 ran, 4..5 cancelled
+
+  // Threaded: in-flight cells may finish (never torn), but the stop still
+  // lands and the first error is still the one rethrown.
+  util::Runner pool(4);
+  poisoned_seeds() = {lab::cell_seed(spec.seed, 0)};
+  try {
+    lab::run_experiment(spec, pool);
+    FAIL() << "expected the poisoned cell to abort the sweep";
+  } catch (const std::runtime_error& e) {
+    expect_message_names(e, "injected infrastructure fault");
+  }
+  poisoned_seeds().clear();
+}
+
+// --------------------------------------------------------- work budgets ----
+
+TEST(Budget, BackendBudgetsTripNamingTheirUnitsAndCaps) {
+  // Each backend counts its own simulated-work currency; a tiny cap must
+  // trip from the main loop with the backend and unit named (and the cap
+  // carried on the exception), never hang.
+  const auto expect_trips = [](const char* scenario, const char* unit,
+                               std::uint64_t cap) {
+    SCOPED_TRACE(scenario);
+    lab::SourceOptions opt;
+    opt.duration_scale = 0.02;
+    opt.budget.max_work_units = cap;
+    const auto source = lab::make_scenario(scenario, opt);
+    try {
+      source->run(source->default_allocation(), 7);
+      FAIL() << "expected util::BudgetExceeded";
+    } catch (const util::BudgetExceeded& e) {
+      expect_message_names(e, "work budget exceeded");
+      expect_message_names(e, unit);
+      EXPECT_EQ(e.limit(), cap);
+    }
+  };
+  expect_trips("dumbbell/two_connections", "events", 500);
+  expect_trips("paired_links/experiment", "ticks", 50);
+  expect_trips("trace/self_calibration", "rows", 5);
+}
+
+TEST(Budget, GenerousBudgetLeavesRunsBitIdentical) {
+  // The budget check is one integer compare — it must not perturb a
+  // single computed bit of a run that stays under the cap.
+  for (const char* scenario :
+       {"dumbbell/two_connections", "paired_links/experiment"}) {
+    SCOPED_TRACE(scenario);
+    lab::SourceOptions plain;
+    plain.duration_scale = 0.02;
+    lab::SourceOptions capped = plain;
+    capped.budget.max_work_units = std::numeric_limits<std::uint64_t>::max();
+    const auto a = lab::make_scenario(scenario, plain);
+    const auto b = lab::make_scenario(scenario, capped);
+    const auto ta = a->run(a->default_allocation(), 11);
+    const auto tb = b->run(b->default_allocation(), 11);
+    ASSERT_EQ(ta.metrics, tb.metrics);
+    for (std::size_t c = 0; c < ta.columns.size(); ++c) {
+      ASSERT_EQ(ta.columns[c].size(), tb.columns[c].size());
+      for (std::size_t r = 0; r < ta.columns[c].size(); ++r) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(ta.columns[c][r].outcome),
+                  std::bit_cast<std::uint64_t>(tb.columns[c][r].outcome));
+      }
+    }
+    ASSERT_EQ(ta.aggregates, tb.aggregates);
+  }
+}
+
+TEST(Budget, ExceededIsTerminalUnderEveryPolicyWithBitIdenticalSurvivors) {
+  lab::ExperimentSpec clean_spec = synthetic_spec("test/clean");
+  clean_spec.estimators = {"naive/ab"};
+  const auto clean = lab::run_experiment(clean_spec);
+
+  for (const lab::FailurePolicy policy :
+       {lab::FailurePolicy::fail_fast(), lab::FailurePolicy::skip(),
+        lab::FailurePolicy::retry(3)}) {
+    SCOPED_TRACE(static_cast<int>(policy.mode));
+    lab::ExperimentSpec spec = clean_spec;
+    spec.scenario = "test/budget";
+    spec.on_failure = policy;
+    poisoned_seeds() = {lab::cell_seed(spec.seed, 0)};
+    // A blown budget is deterministic, so it never aborts the sweep (even
+    // under fail_fast) and never consumes retries.
+    const auto report = lab::run_experiment(spec);
+    poisoned_seeds().clear();
+
+    EXPECT_EQ(report.cells[0].status.state, core::CellState::kBudgetExceeded);
+    EXPECT_EQ(report.cells[0].status.attempts, 1u);
+    expect_message_names(std::runtime_error(report.cells[0].status.error),
+                         "work budget exceeded");
+    EXPECT_TRUE(report.cells[1].status.ok());
+    const core::CompletionManifest manifest = report.manifest();
+    EXPECT_EQ(manifest.budget_exceeded, 1u);
+    EXPECT_FALSE(manifest.complete());
+
+    // The surviving replicate's estimates are bit-identical to the clean
+    // run; the budget-exceeded slot degrades to a null estimate.
+    ASSERT_EQ(report.estimates.size(), clean.estimates.size());
+    for (std::size_t e = 0; e < report.estimates.size(); ++e) {
+      ASSERT_EQ(report.estimates[e].names, clean.estimates[e].names);
+      for (std::size_t r = 0; r < report.estimates[e].rows.size(); ++r) {
+        const auto& capped_row = report.estimates[e].rows[r];
+        const auto& clean_row = clean.estimates[e].rows[r];
+        ASSERT_EQ(capped_row.replicates.size(), clean_row.replicates.size());
+        EXPECT_EQ(capped_row.replicates[0].estimate, 0.0);
+        EXPECT_EQ(capped_row.replicates[0].p_value, 1.0);
+        EXPECT_EQ(
+            std::bit_cast<std::uint64_t>(capped_row.replicates[1].estimate),
+            std::bit_cast<std::uint64_t>(clean_row.replicates[1].estimate));
+        EXPECT_EQ(
+            std::bit_cast<std::uint64_t>(capped_row.replicates[1].p_value),
+            std::bit_cast<std::uint64_t>(clean_row.replicates[1].p_value));
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------- guardrails ----

@@ -1,0 +1,168 @@
+// xp_run: the operational front door for durable, resumable experiment
+// runs (lab/journal.h).
+//
+//   xp_run --scenario paired_links/experiment --journal /data/run1
+//       --allocations 0.5,0.95 --replicates 4 --estimators naive/ab
+//       --duration-scale 0.05 --seed 7       (one command line)
+//
+// Runs the spec, prints the completion manifest (and, with --journal,
+// how much of the run was replayed from the journal), and exits 0 only
+// when every cell is OK — a partial run (failed / skipped /
+// quality-held / budget-exceeded cells) exits 3, so a supervisor loop
+// can simply re-invoke until the exit code clears. Kill it at any
+// moment: with --journal, completed cells are already on disk and the
+// next invocation resumes instead of restarting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "lab/experiment.h"
+#include "lab/journal.h"
+#include "util/runner.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scenario <registry key>\n"
+      "          [--journal <dir>]       resume from / append to a cell\n"
+      "                                  journal (<dir>/cells.xpj, v%u)\n"
+      "          [--allocations <p,...>] sweep points (default: the\n"
+      "                                  source's own allocation)\n"
+      "          [--replicates <n>]      worlds per allocation (default 1)\n"
+      "          [--estimators <k,...>]  estimator registry keys\n"
+      "          [--seed <n>]            spec seed (default 1)\n"
+      "          [--duration-scale <d>]  horizon scale (default 1)\n"
+      "          [--budget <n>]          per-cell work budget in the\n"
+      "                                  backend's units (events/ticks/\n"
+      "                                  rows; default unlimited)\n"
+      "          [--on-failure <mode>]   fail_fast | skip | retry:<n>\n"
+      "          [--trace-file <path>]   session log for trace/* scenarios\n"
+      "Exit codes: 0 all cells OK, 3 partial completion, 1 error, 2 usage.\n",
+      argv0, xp::lab::kJournalVersion);
+  return 2;
+}
+
+/// "0.5,0.95" -> {0.5, 0.95}; empty tokens rejected by the caller's use.
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xp::lab::ExperimentSpec spec;
+  xp::lab::JournalOptions journal;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenario") == 0) {
+      spec.scenario = value();
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      journal.directory = value();
+    } else if (std::strcmp(argv[i], "--allocations") == 0) {
+      for (const std::string& token : split_csv(value())) {
+        spec.allocations.push_back(std::atof(token.c_str()));
+      }
+    } else if (std::strcmp(argv[i], "--replicates") == 0) {
+      spec.replicates = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--estimators") == 0) {
+      for (std::string& token : split_csv(value())) {
+        spec.estimators.push_back(std::move(token));
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      spec.seed = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--duration-scale") == 0) {
+      spec.tuning.duration_scale = std::atof(value());
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      spec.tuning.budget.max_work_units = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-file") == 0) {
+      spec.tuning.trace_path = value();
+    } else if (std::strcmp(argv[i], "--on-failure") == 0) {
+      const std::string mode = value();
+      if (mode == "fail_fast") {
+        spec.on_failure = xp::lab::FailurePolicy::fail_fast();
+      } else if (mode == "skip") {
+        spec.on_failure = xp::lab::FailurePolicy::skip();
+      } else if (mode.rfind("retry:", 0) == 0) {
+        spec.on_failure = xp::lab::FailurePolicy::retry(static_cast<
+            std::uint32_t>(std::strtoul(mode.c_str() + 6, nullptr, 10)));
+      } else {
+        std::fprintf(stderr, "%s: unknown --on-failure mode '%s'\n", argv[0],
+                     mode.c_str());
+        return usage(argv[0]);
+      }
+    } else {
+      std::fprintf(stderr, "%s: unknown argument %s\n", argv[0], argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (spec.scenario.empty()) return usage(argv[0]);
+
+  try {
+    const xp::lab::ExperimentReport report =
+        xp::lab::run_experiment(spec, journal);
+    const xp::core::CompletionManifest manifest = report.manifest();
+
+    std::printf("scenario %s: %zu cell(s) (%zu allocation(s) x %zu "
+                "replicate(s)), seed %llu\n",
+                report.scenario.c_str(), manifest.cells,
+                report.allocations.size(), report.replicates,
+                static_cast<unsigned long long>(spec.seed));
+    std::printf("  ok=%zu failed=%zu skipped=%zu quality_hold=%zu "
+                "budget_exceeded=%zu srm_flagged=%zu attempts=%zu\n",
+                manifest.ok, manifest.failed, manifest.skipped,
+                manifest.quality_hold, manifest.budget_exceeded,
+                manifest.srm_flagged, manifest.attempts);
+    for (const xp::lab::ExperimentCell& cell : report.cells) {
+      if (cell.status.ok()) continue;
+      std::printf("  cell (allocation %g, replicate %zu): %s — %s\n",
+                  cell.allocation, cell.replicate,
+                  xp::core::cell_state_name(cell.status.state),
+                  cell.status.error.c_str());
+    }
+    for (const xp::core::EstimateTable& table : report.estimates) {
+      std::printf("  estimator %s: %zu estimate row(s)\n",
+                  table.estimator.c_str(), table.rows.size());
+    }
+    if (!manifest.complete()) {
+      std::printf("partial completion: %zu of %zu cell(s) OK%s\n",
+                  manifest.ok, manifest.cells,
+                  journal.directory.empty()
+                      ? ""
+                      : " — re-run with the same --journal to resume");
+      return 3;
+    }
+    std::printf("complete\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    if (!journal.directory.empty()) {
+      std::fprintf(stderr,
+                   "%s: completed cells are journaled in %s — re-run with "
+                   "the same --journal to resume\n",
+                   argv[0], journal.directory.c_str());
+    }
+    return 1;
+  }
+}
