@@ -13,6 +13,7 @@
 #include "core/analysis.h"
 #include "core/quantile_effects.h"
 #include "lab/experiment.h"
+#include "lab/fleet_scenarios.h"
 #include "lab/scenarios.h"
 #include "util/runner.h"
 #include "sim/dumbbell.h"
@@ -273,6 +274,25 @@ void BM_TraceReplayDay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceReplayDay)->Unit(benchmark::kMillisecond);
+
+void BM_FleetDay(benchmark::State& state) {
+  // One simulated day of the 8-region heterogeneous fleet through the
+  // streaming path (lab/fleet_scenarios.h): every shard folds its
+  // retiring sessions into hourly-cell sketches which are then merged in
+  // shard-index order — the fleet-scale data-generating hot path the CI
+  // gate watches alongside BM_PairedLinksDay. Serial runner on purpose:
+  // the gate compares cpu_time, and one thread makes that the full
+  // deterministic shard work (~90k sessions per iteration) instead of
+  // scheduling-dependent main-thread time; parallel scaling is covered
+  // by BM_RunnerAllocationSweep.
+  xp::util::Runner runner(1);
+  const xp::video::FleetConfig fleet =
+      xp::lab::canonical_heterogeneous_fleet_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xp::lab::run_fleet(fleet, runner));
+  }
+}
+BENCHMARK(BM_FleetDay)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -11,9 +11,13 @@
 namespace xp::core {
 
 std::vector<HourlyCell> aggregate_hourly(std::span<const Observation> rows) {
-  // (hour_index, arm) -> (sum, count, hour_of_day)
+  // (hour_index, arm) -> (weighted sum, weight, count, hour_of_day).
+  // With unit weights (every record-path table) the weighted arithmetic
+  // is bit-identical to the old unweighted form: 1.0 * x is exact and
+  // the weight total is an exact integer count.
   struct Agg {
     double sum = 0.0;
+    double weight = 0.0;
     std::size_t n = 0;
     std::uint32_t hod = 0;
   };
@@ -21,19 +25,22 @@ std::vector<HourlyCell> aggregate_hourly(std::span<const Observation> rows) {
   for (const Observation& row : rows) {
     if (!std::isfinite(row.outcome)) continue;  // corrupted telemetry
     Agg& cell = cells[{row.hour_index, row.treated}];
-    cell.sum += row.outcome;
+    cell.sum += row.weight * row.outcome;
+    cell.weight += row.weight;
     cell.n += 1;
     cell.hod = row.hour_of_day;
   }
   std::vector<HourlyCell> out;
   out.reserve(cells.size());
   for (const auto& [key, agg] : cells) {
+    if (agg.weight <= 0.0) continue;
     HourlyCell cell;
     cell.hour_index = key.first;
     cell.treated = key.second;
     cell.hour_of_day = agg.hod;
-    cell.mean_outcome = agg.sum / static_cast<double>(agg.n);
+    cell.mean_outcome = agg.sum / agg.weight;
     cell.sessions = agg.n;
+    cell.weight = agg.weight;
     out.push_back(cell);
   }
   // std::map ordering already yields (hour_index, arm) order.
@@ -99,23 +106,23 @@ EffectEstimate account_level_analysis(std::span<const Observation> rows,
                                       const AnalysisOptions& options) {
   // Aggregate to account means first (sessions from one account are not
   // independent), then Welch.
-  std::map<std::uint64_t, std::pair<double, std::size_t>> treated_accounts;
-  std::map<std::uint64_t, std::pair<double, std::size_t>> control_accounts;
+  std::map<std::uint64_t, std::pair<double, double>> treated_accounts;
+  std::map<std::uint64_t, std::pair<double, double>> control_accounts;
   for (const Observation& row : rows) {
     if (!std::isfinite(row.outcome)) continue;  // corrupted telemetry
     auto& bucket = row.treated ? treated_accounts : control_accounts;
-    auto& [sum, n] = bucket[row.account];
-    sum += row.outcome;
-    n += 1;
+    auto& [sum, weight] = bucket[row.account];
+    sum += row.weight * row.outcome;
+    weight += row.weight;
   }
   std::vector<double> treated, control;
   treated.reserve(treated_accounts.size());
   control.reserve(control_accounts.size());
   for (const auto& [account, agg] : treated_accounts) {
-    treated.push_back(agg.first / static_cast<double>(agg.second));
+    if (agg.second > 0.0) treated.push_back(agg.first / agg.second);
   }
   for (const auto& [account, agg] : control_accounts) {
-    control.push_back(agg.first / static_cast<double>(agg.second));
+    if (agg.second > 0.0) control.push_back(agg.first / agg.second);
   }
   if (treated.size() < 2 || control.size() < 2) {
     throw std::invalid_argument("account_level_analysis: too few accounts");
@@ -138,26 +145,26 @@ EffectEstimate account_level_analysis(std::span<const Observation> rows,
 
 double arm_mean(std::span<const Observation> rows, bool treated) {
   double sum = 0.0;
-  std::size_t n = 0;
+  double weight = 0.0;
   for (const Observation& row : rows) {
     if (row.treated == treated && std::isfinite(row.outcome)) {
-      sum += row.outcome;
-      ++n;
+      sum += row.weight * row.outcome;
+      weight += row.weight;
     }
   }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  return weight == 0.0 ? 0.0 : sum / weight;
 }
 
 double overall_mean(std::span<const Observation> rows) {
   double sum = 0.0;
-  std::size_t n = 0;
+  double weight = 0.0;
   for (const Observation& row : rows) {
     if (std::isfinite(row.outcome)) {
-      sum += row.outcome;
-      ++n;
+      sum += row.weight * row.outcome;
+      weight += row.weight;
     }
   }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  return weight == 0.0 ? 0.0 : sum / weight;
 }
 
 }  // namespace xp::core

@@ -34,12 +34,19 @@ struct HourlyCell {
   std::uint32_t hour_of_day = 0;
   bool treated = false;
   double mean_outcome = 0.0;
-  std::size_t sessions = 0;
+  std::size_t sessions = 0;  ///< finite rows aggregated into the cell
+  /// Total Observation::weight behind the mean — equal to `sessions` on
+  /// record-path tables (unit weights), the underlying session count on
+  /// streamed sketch tables.
+  double weight = 0.0;
 };
 
 /// Aggregate observations into per-(hour, arm) means — the Z_t(A) of
 /// Appendix B. Cells are ordered by (hour_index, arm) so the regression's
-/// Newey-West lag structure sees consecutive hours adjacently.
+/// Newey-West lag structure sees consecutive hours adjacently. Means are
+/// weighted by Observation::weight, so pre-aggregated sketch rows
+/// (outcome = bin mean, weight = bin count) reproduce the session-level
+/// cell means.
 std::vector<HourlyCell> aggregate_hourly(std::span<const Observation> rows);
 
 struct AnalysisOptions {
@@ -63,10 +70,11 @@ EffectEstimate hourly_fe_analysis(std::span<const Observation> rows,
 EffectEstimate account_level_analysis(std::span<const Observation> rows,
                                       const AnalysisOptions& options = {});
 
-/// Mean outcome of one arm (helper for baselines and cell plots).
+/// Mean outcome of one arm (helper for baselines and cell plots),
+/// weighted by Observation::weight.
 double arm_mean(std::span<const Observation> rows, bool treated);
 
-/// Mean outcome of all rows.
+/// Mean outcome of all rows, weighted by Observation::weight.
 double overall_mean(std::span<const Observation> rows);
 
 }  // namespace xp::core

@@ -45,6 +45,8 @@ DataQualityReport assess_quality(const ObservationTable& table,
     for (const Observation& row : table.columns.front()) {
       ++report.rows;
       (row.treated ? report.treated_rows : report.control_rows) += 1;
+      (row.treated ? report.treated_weight : report.control_weight) +=
+          row.weight;
       hours.insert(row.hour_index);
       arm_hours.insert({row.hour_index, row.treated});
     }
@@ -77,14 +79,16 @@ DataQualityReport assess_quality(const ObservationTable& table,
   }
 
   // Sample-ratio mismatch: 1-df Pearson chi-square of the observed
-  // treated/control split against the intended fraction. Degenerate
-  // intents (0 or 1) flag outright if the forbidden arm has any rows.
-  if (report.rows > 0) {
-    const auto n = static_cast<double>(report.rows);
+  // treated/control split against the intended fraction, weighted by
+  // Observation::weight (identical to row counts under unit weights).
+  // Degenerate intents (0 or 1) flag outright if the forbidden arm has
+  // any weight.
+  if (report.rows > 0 && report.treated_weight + report.control_weight > 0.0) {
+    const double treated = report.treated_weight;
+    const double control = report.control_weight;
+    const double n = treated + control;
     const double expected_treated = intended_treated_fraction * n;
     const double expected_control = n - expected_treated;
-    const auto treated = static_cast<double>(report.treated_rows);
-    const auto control = static_cast<double>(report.control_rows);
     if (expected_treated <= 0.0 || expected_control <= 0.0) {
       const double forbidden = expected_treated <= 0.0 ? treated : control;
       report.srm_p_value = forbidden > 0.0 ? 0.0 : 1.0;

@@ -44,6 +44,12 @@ struct DataQualityReport {
   std::size_t rows = 0;  ///< unit rows (first metric column)
   std::size_t treated_rows = 0;
   std::size_t control_rows = 0;
+  /// Total Observation::weight per arm (first metric column). Equal to
+  /// the row counts on record-path tables; on streamed sketch tables this
+  /// is the underlying session count, and the SRM check uses it so the
+  /// test sees the real sample size, not the bin count.
+  double treated_weight = 0.0;
+  double control_weight = 0.0;
   std::size_t hours_observed = 0;   ///< distinct absolute hours
   std::size_t arm_hour_cells = 0;   ///< distinct (hour, arm) cells
   std::size_t non_finite_outcomes = 0;  ///< summed across metric columns

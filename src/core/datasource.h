@@ -46,6 +46,13 @@ class DataSource {
   virtual double intended_treated_fraction(double allocation) const noexcept {
     return allocation;
   }
+
+  /// Hash of any configuration beyond (scenario key, allocation, seed)
+  /// that changes this source's output — e.g. a fleet's per-shard deltas.
+  /// The journal mixes a nonzero value into its fingerprint so cached
+  /// cells are not replayed across config changes. 0 (the default) means
+  /// "the registry key fully identifies the config".
+  virtual std::uint64_t config_fingerprint() const noexcept { return 0; }
 };
 
 }  // namespace xp::core

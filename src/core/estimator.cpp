@@ -101,14 +101,14 @@ bool two_groups(Rows rows) {
 /// control cell on the mostly-control link (group 1).
 double paired_baseline(Rows rows) {
   double sum = 0.0;
-  std::size_t n = 0;
+  double weight = 0.0;
   for (const Observation& row : rows) {
     if (row.group == 1 && !row.treated && std::isfinite(row.outcome)) {
-      sum += row.outcome;
-      ++n;
+      sum += row.weight * row.outcome;
+      weight += row.weight;
     }
   }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  return weight == 0.0 ? 0.0 : sum / weight;
 }
 
 std::uint32_t day_count(Rows rows) {

@@ -165,6 +165,13 @@ ExperimentReport run_experiment(const ExperimentSpec& spec,
   std::uint64_t fingerprint = 0;
   if (!journal_options.directory.empty()) {
     fingerprint = journal_fingerprint(spec);
+    // Sources with config beyond (scenario key, tuning) — a fleet's
+    // per-shard deltas — fold their own hash in, so a changed config
+    // never replays stale cells.
+    if (const std::uint64_t source_fp = source->config_fingerprint();
+        source_fp != 0) {
+      fingerprint = stats::mix64(fingerprint ^ source_fp);
+    }
     journal =
         std::make_unique<CellJournal>(journal_path(journal_options.directory));
   }

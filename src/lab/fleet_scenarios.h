@@ -1,0 +1,50 @@
+// Fleet execution + registry entries: N paired-link shards, streamed
+// into one merged hourly-cell table.
+//
+// run_fleet fans the shards of a video::FleetConfig across a runner;
+// each shard folds its retiring sessions straight into a
+// core::CellAccumulator (the streaming run_paired_links overload), so no
+// per-session record vector ever materializes — peak memory is
+// O(shards × hours × metrics). Shard sketches are merged in shard-index
+// order (a fixed left fold), so the resulting table is bit-for-bit
+// identical at any thread count.
+//
+// Registered scenario keys (see lab/registry.h for the full key table):
+//
+//   fleet/experiment     32 uniform regions (phase-rotated through the
+//                        day), each 3x the canonical cluster's demand and
+//                        capacity — >= 1M sessions over a simulated day
+//   fleet/heterogeneous  8 regions with varied capacity, market size,
+//                        timezone, and device mix
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/observation_table.h"
+#include "lab/registry.h"
+#include "util/runner.h"
+#include "video/fleet.h"
+
+namespace xp::lab {
+
+/// Run every shard (in parallel across `runner`) and merge the streamed
+/// hourly-cell sketches into one estimator-ready table. Aggregates:
+/// sessions_started/completed (summed), shards, records_dropped/
+/// corrupted (summed, only under a fault plan), peak_utilization/linkN
+/// (max over shards); series: hourly_utilization/linkN and
+/// hourly_rtt/linkN (fleet means). Pure in (fleet): bit-identical at any
+/// thread count.
+core::ObservationTable run_fleet(const video::FleetConfig& fleet,
+                                 util::Runner& runner);
+
+/// Canonical fleet configurations (single source of truth; benches and
+/// tests reuse them).
+video::FleetConfig canonical_fleet_config(std::size_t shards);
+video::FleetConfig canonical_heterogeneous_fleet_config();
+
+/// Publish the fleet/* scenarios into the registry map (called from
+/// install_builtins).
+void install_fleet_scenarios(std::map<std::string, SourceFactory>& reg);
+
+}  // namespace xp::lab

@@ -89,6 +89,8 @@ void put_quality(std::string& out, const core::DataQualityReport& q) {
   put<std::uint64_t>(out, q.rows);
   put<std::uint64_t>(out, q.treated_rows);
   put<std::uint64_t>(out, q.control_rows);
+  put<double>(out, q.treated_weight);
+  put<double>(out, q.control_weight);
   put<std::uint64_t>(out, q.hours_observed);
   put<std::uint64_t>(out, q.arm_hour_cells);
   put<std::uint64_t>(out, q.non_finite_outcomes);
@@ -113,6 +115,8 @@ core::DataQualityReport get_quality(Reader& in) {
   q.rows = in.get<std::uint64_t>("quality.rows");
   q.treated_rows = in.get<std::uint64_t>("quality.treated_rows");
   q.control_rows = in.get<std::uint64_t>("quality.control_rows");
+  q.treated_weight = in.get<double>("quality.treated_weight");
+  q.control_weight = in.get<double>("quality.control_weight");
   q.hours_observed = in.get<std::uint64_t>("quality.hours_observed");
   q.arm_hour_cells = in.get<std::uint64_t>("quality.arm_hour_cells");
   q.non_finite_outcomes = in.get<std::uint64_t>("quality.non_finite");
@@ -153,6 +157,7 @@ void put_table(std::string& out, const core::ObservationTable& table) {
       put<std::uint64_t>(out, obs.hour_index);
       put<std::uint32_t>(out, obs.day);
       put<std::uint8_t>(out, obs.group);
+      put<double>(out, obs.weight);
     }
   }
   put<std::uint32_t>(out,
@@ -175,7 +180,7 @@ core::ObservationTable get_table(Reader& in) {
   for (std::uint32_t c = 0; c < n_columns; ++c) {
     std::string metric = in.get_string("table.metric");
     const auto n_rows = in.get<std::uint64_t>("table.rows");
-    if ((in.size - in.pos) / 42 < n_rows) {  // 42 = packed Observation size
+    if ((in.size - in.pos) / 50 < n_rows) {  // 50 = packed Observation size
       fail("record " + std::to_string(in.record) + ", field 'table.rows': " +
            std::to_string(n_rows) + " rows do not fit the payload");
     }
@@ -191,6 +196,7 @@ core::ObservationTable get_table(Reader& in) {
       obs.hour_index = in.get<std::uint64_t>("table.row.hour_index");
       obs.day = in.get<std::uint32_t>("table.row.day");
       obs.group = in.get<std::uint8_t>("table.row.group");
+      obs.weight = in.get<double>("table.row.weight");
       rows.push_back(obs);
     }
     table.add_column(std::move(metric), std::move(rows));
@@ -294,6 +300,9 @@ std::uint64_t journal_fingerprint(const ExperimentSpec& spec) {
   fp.add<double>(spec.tuning.duration_scale);
   fp.add_string(spec.tuning.trace_path);
   fp.add<std::uint64_t>(spec.tuning.budget.max_work_units);
+  // Streamed and record-path tables are different shapes of the same
+  // world; they must never replay into each other.
+  fp.add<std::uint8_t>(spec.tuning.streaming ? 1 : 0);
   // Quality gate: its thresholds decide kOk vs kQualityHold.
   fp.add<double>(spec.quality.srm_p_threshold);
   fp.add<std::uint64_t>(spec.quality.min_rows);

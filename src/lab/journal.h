@@ -49,7 +49,7 @@ struct ExperimentSpec;  // lab/experiment.h
 /// Journal schema version: bump on any change to the record layout or
 /// the content-key recipe; old journals then never match and are simply
 /// recomputed over.
-inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 /// The journal file a directory holds (one per directory).
 std::string journal_path(const std::string& directory);

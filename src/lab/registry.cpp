@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/cell_accumulator.h"
 #include "core/session_metrics.h"
+#include "lab/fleet_scenarios.h"
 #include "trace/codec.h"
 #include "trace/replay.h"
 #include "trace/writer.h"
@@ -82,10 +84,11 @@ class DumbbellSource final : public DataSource {
 class PairedLinkSource final : public DataSource {
  public:
   PairedLinkSource(std::string name, video::ClusterConfig config,
-                   bool allocation_sets_treatment)
+                   bool allocation_sets_treatment, bool streaming = false)
       : name_(std::move(name)),
         config_(config),
-        allocation_sets_treatment_(allocation_sets_treatment) {}
+        allocation_sets_treatment_(allocation_sets_treatment),
+        streaming_(streaming) {}
 
   std::string_view name() const noexcept override { return name_; }
   double default_allocation() const noexcept override {
@@ -100,18 +103,30 @@ class PairedLinkSource final : public DataSource {
       config.treat_probability[0] = allocation;
       config.treat_probability[1] = 1.0 - allocation;
     }
-    const video::ClusterResult result = video::run_paired_links(config);
-
     ObservationTable table;
-    // One column per metric, each with exactly one row per session: size
-    // the table up front (select() itself reserves sessions.size() for
-    // the all-pass filter) instead of growing incrementally.
-    table.metrics.reserve(std::size(core::kAllMetrics));
-    table.columns.reserve(std::size(core::kAllMetrics));
-    const core::RowFilter all;
-    for (core::Metric metric : core::kAllMetrics) {
-      table.add_column(std::string(core::metric_name(metric)),
-                       core::select(result.sessions, metric, all));
+    video::ClusterResult result;
+    if (streaming_) {
+      // Streaming mode: fold each retiring session into hourly-cell
+      // sketches; no per-session record vector is ever materialized.
+      core::CellAccumulator sketch(
+          static_cast<std::size_t>(config.days * 24.0) + 1);
+      result = video::run_paired_links(
+          config,
+          [&sketch](const video::SessionRecord& r) { sketch.add(r); });
+      table = sketch.to_table();
+    } else {
+      result = video::run_paired_links(config);
+      // One column per metric, each with exactly one row per session:
+      // size the table up front (select() itself reserves
+      // sessions.size() for the all-pass filter) instead of growing
+      // incrementally.
+      table.metrics.reserve(std::size(core::kAllMetrics));
+      table.columns.reserve(std::size(core::kAllMetrics));
+      const core::RowFilter all;
+      for (core::Metric metric : core::kAllMetrics) {
+        table.add_column(std::string(core::metric_name(metric)),
+                         core::select(result.sessions, metric, all));
+      }
     }
     table.add_aggregate("sessions_started",
                         static_cast<double>(result.stats.sessions_started));
@@ -154,6 +169,7 @@ class PairedLinkSource final : public DataSource {
   std::string name_;
   video::ClusterConfig config_;
   bool allocation_sets_treatment_;
+  bool streaming_;
 };
 
 // ------------------------------------------------------------- registry ----
@@ -194,12 +210,12 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
     return std::make_unique<PairedLinkSource>(
         "paired_links/experiment",
         tuned(canonical_experiment_config(), opt),
-        /*allocation_sets_treatment=*/true);
+        /*allocation_sets_treatment=*/true, opt.streaming);
   });
   reg.emplace("paired_links/baseline", [](const SourceOptions& opt) {
     return std::make_unique<PairedLinkSource>(
         "paired_links/baseline", tuned(canonical_baseline_config(), opt),
-        /*allocation_sets_treatment=*/false);
+        /*allocation_sets_treatment=*/false, opt.streaming);
   });
 
   // Policy-backed experiment families: the canonical week with the arm
@@ -212,7 +228,7 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
       config.control_policy = control;
       config.treatment_policy = treatment;
       return std::make_unique<PairedLinkSource>(
-          name, config, /*allocation_sets_treatment=*/true);
+          name, config, /*allocation_sets_treatment=*/true, opt.streaming);
     });
   };
   // Deeper capping than the 2020 program ran: does halving the ceiling
@@ -237,7 +253,7 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
       config.faults = plan();
       return std::make_unique<PairedLinkSource>(
           name, tuned(config, opt),
-          /*allocation_sets_treatment=*/true);
+          /*allocation_sets_treatment=*/true, opt.streaming);
     });
   };
   // Link 0 goes dark mid-week for ~2.4 hours, then link 1 runs at 40%
@@ -323,6 +339,10 @@ void install_builtins(std::map<std::string, SourceFactory>& reg) {
     return std::make_unique<trace::TraceSource>(
         trace::make_log(result.sessions, std::move(meta)), std::move(replay));
   });
+
+  // Fleet backend (lab/fleet_scenarios.cpp): sharded multi-region worlds
+  // streamed into merged hourly-cell sketches.
+  install_fleet_scenarios(reg);
 }
 
 util::StringRegistry<SourceFactory>& registry() {

@@ -30,6 +30,16 @@
 //                              the schema and replay it — the
 //                              simulation-vs-replay calibration loop
 //
+// and the fleet backend (lab/fleet_scenarios.h — N paired-link shards
+// streamed into merged hourly-cell sketches, never materializing
+// per-session records):
+//
+//   fleet/experiment           32 uniform phase-rotated regions at 3x the
+//                              canonical scale: >= 1M sessions per
+//                              simulated day
+//   fleet/heterogeneous        8 regions with varied capacity, demand,
+//                              timezone, and device mix
+//
 // The canonical configurations live in this translation unit only —
 // benches, examples, and tests all obtain them from here. A new treatment
 // lands as one TreatmentPolicy + one register_scenario call.
@@ -71,6 +81,16 @@ struct SourceOptions {
   /// default (0) is unlimited and leaves every run bit-identical to a
   /// budget-free build.
   util::RunBudget budget;
+  /// Stream sessions into hourly-cell sketches (core/cell_accumulator.h)
+  /// instead of materializing per-session record vectors. Peak memory
+  /// drops from O(sessions) to O(hours x metrics); hourly cell means are
+  /// preserved to FP rounding, while account-level and quantile reads see
+  /// bin-resolution approximations (see README "Fleet worlds"). Honored
+  /// by the paired_links/* scenarios; fleet/* always streams; dumbbell/*
+  /// and trace/* ignore it (their tables are already small). Changes the
+  /// journal fingerprint — streamed and record-path cells never replay
+  /// into each other.
+  bool streaming = false;
 };
 
 using SourceFactory =

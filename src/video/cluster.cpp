@@ -55,7 +55,16 @@ void validate(const ClusterConfig& config) {
   validate(config.faults);
 }
 
-ClusterResult run_paired_links(const ClusterConfig& config) {
+namespace {
+
+/// Shared simulation core. `stream_sink` selects the mode: null
+/// materializes ClusterResult::sessions (the record path), non-null
+/// forwards each surviving record and leaves the vector empty. Telemetry
+/// fate is a pure per-record hash of (seed, session_id), so applying it
+/// at emit time — instead of compacting a materialized vector afterwards
+/// — yields bit-identical records, order, and fault tallies.
+ClusterResult run_paired_links_impl(const ClusterConfig& config,
+                                    const SessionSink* stream_sink) {
   validate(config);
 
   // Resolve the arm policies once, up front — unknown names throw (with
@@ -121,10 +130,51 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
 
   ClusterResult result;
   // Size the record reserve from demand x horizon (plus Poisson slack);
-  // overflow beyond it grows geometrically like any vector.
-  const double expected_sessions = demand.expected_arrivals(horizon);
-  result.sessions.reserve(
-      static_cast<std::size_t>(expected_sessions * 1.08) + 1024);
+  // overflow beyond it grows geometrically like any vector. Streaming
+  // mode never materializes records, so the O(sessions) reserve is gated
+  // to the record path — at fleet scale it would dominate peak memory.
+  if (stream_sink == nullptr) {
+    const double expected_sessions = demand.expected_arrivals(horizon);
+    result.sessions.reserve(
+        static_cast<std::size_t>(expected_sessions * 1.08) + 1024);
+  }
+
+  // Per-record emit: apply the telemetry fate (drop / corrupt / keep),
+  // then forward to the stream sink or the record vector.
+  const TelemetryFault& telemetry = config.faults.telemetry;
+  const bool has_telemetry_faults =
+      telemetry.drop_probability > 0.0 || telemetry.corrupt_probability > 0.0;
+  const SessionSink emit = [&](const SessionRecord& record) {
+    const SessionRecord* out = &record;
+    SessionRecord corrupted;
+    if (has_telemetry_faults) {
+      switch (telemetry_fate(telemetry, config.seed, record.session_id)) {
+        case TelemetryFate::kDropped:
+          ++result.stats.records_dropped;
+          return;
+        case TelemetryFate::kCorrupted:
+          // Network metrics truncated from the capture; QoE and identity
+          // fields survive (client- vs server-side telemetry paths).
+          corrupted = record;
+          corrupted.avg_throughput_bps =
+              std::numeric_limits<double>::quiet_NaN();
+          corrupted.min_rtt = std::numeric_limits<double>::quiet_NaN();
+          corrupted.mean_rtt = std::numeric_limits<double>::quiet_NaN();
+          corrupted.retransmit_fraction =
+              std::numeric_limits<double>::quiet_NaN();
+          ++result.stats.records_corrupted;
+          out = &corrupted;
+          break;
+        case TelemetryFate::kKept:
+          break;
+      }
+    }
+    if (stream_sink != nullptr) {
+      (*stream_sink)(*out);
+    } else {
+      result.sessions.push_back(*out);
+    }
+  };
   // Concurrency ~ per-link arrival rate x mean viewing duration at peak.
   const std::size_t expected_peak = static_cast<std::size_t>(
       0.75 * config.demand.peak_arrivals_per_second *
@@ -234,9 +284,8 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
       // Pass 3: advance every session one tick.
       pool.advance_all(dt, grants, rtt, loss, &stalls[l]);
 
-      // Pass 4: retire finished sessions (swap-erase recycles slots).
-      pool.retire_finished(result.sessions,
-                           result.stats.sessions_completed);
+      // Pass 4: retire finished sessions (pops the done bucket).
+      pool.retire_finished(emit, result.stats.sessions_completed);
 
       // Diagnostics.
       result.stats.peak_concurrency[l] =
@@ -270,43 +319,20 @@ ClusterResult run_paired_links(const ClusterConfig& config) {
   // partial telemetry is valid; the paper's datasets do the same at the
   // experiment boundary).
   for (int l = 0; l < 2; ++l) {
-    pools[l].flush_all(result.sessions);
-  }
-
-  // --- Telemetry faults (dataset layer, after the world has run) ---
-  // Each record's fate is a seed-pure hash of (seed, session_id); no RNG
-  // stream is consumed, so the simulated world above is untouched —
-  // exactly like a lossy collection pipeline recording a healthy network.
-  const TelemetryFault& telemetry = config.faults.telemetry;
-  if (telemetry.drop_probability > 0.0 ||
-      telemetry.corrupt_probability > 0.0) {
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < result.sessions.size(); ++i) {
-      SessionRecord& record = result.sessions[i];
-      switch (telemetry_fate(telemetry, config.seed, record.session_id)) {
-        case TelemetryFate::kDropped:
-          ++result.stats.records_dropped;
-          continue;  // never copied to the kept prefix
-        case TelemetryFate::kCorrupted:
-          // Network metrics truncated from the capture; QoE and identity
-          // fields survive (client- vs server-side telemetry paths).
-          record.avg_throughput_bps =
-              std::numeric_limits<double>::quiet_NaN();
-          record.min_rtt = std::numeric_limits<double>::quiet_NaN();
-          record.mean_rtt = std::numeric_limits<double>::quiet_NaN();
-          record.retransmit_fraction =
-              std::numeric_limits<double>::quiet_NaN();
-          ++result.stats.records_corrupted;
-          break;
-        case TelemetryFate::kKept:
-          break;
-      }
-      if (kept != i) result.sessions[kept] = record;
-      ++kept;
-    }
-    result.sessions.resize(kept);
+    pools[l].flush_all(emit);
   }
   return result;
+}
+
+}  // namespace
+
+ClusterResult run_paired_links(const ClusterConfig& config) {
+  return run_paired_links_impl(config, nullptr);
+}
+
+ClusterResult run_paired_links(const ClusterConfig& config,
+                               const SessionSink& sink) {
+  return run_paired_links_impl(config, &sink);
 }
 
 }  // namespace xp::video

@@ -124,4 +124,19 @@ void validate(const ClusterConfig& config);
 /// the hot path changes; goldens are refreshed when that happens.
 ClusterResult run_paired_links(const ClusterConfig& config);
 
+/// Streaming consumer of retired-session telemetry. Called once per
+/// surviving record (telemetry-fault drops are filtered, corruptions
+/// applied, before the sink sees the row).
+using SessionSink = std::function<void(const SessionRecord&)>;
+
+/// Streaming form: identical simulation, but every record is handed to
+/// `sink` the moment it retires (or flushes at the horizon) and
+/// ClusterResult::sessions stays empty — peak memory is O(concurrent
+/// sessions), not O(total sessions). Records arrive in the same order as
+/// the vector overload's output; stats and hourly diagnostics are filled
+/// identically. This is the fleet-scale path (core/cell_accumulator.h
+/// folds the stream into hourly cells).
+ClusterResult run_paired_links(const ClusterConfig& config,
+                               const SessionSink& sink);
+
 }  // namespace xp::video

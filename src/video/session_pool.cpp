@@ -715,9 +715,29 @@ void SessionPool::retire_finished(std::vector<SessionRecord>& out,
   truncate(alive_end);
 }
 
+void SessionPool::retire_finished(
+    const std::function<void(const SessionRecord&)>& sink,
+    std::uint64_t& completed) {
+  repartition();
+  const std::size_t alive_end = bucket_begin_[3 * policies_.size()];
+  const std::size_t n = state_.size();
+  for (std::size_t i = alive_end; i < n; ++i) {
+    sink(finalize(i));
+    ++completed;
+  }
+  truncate(alive_end);
+}
+
 void SessionPool::flush_all(std::vector<SessionRecord>& out) const {
   for (std::size_t i = 0; i < state_.size(); ++i) {
     out.push_back(finalize(i));
+  }
+}
+
+void SessionPool::flush_all(
+    const std::function<void(const SessionRecord&)>& sink) const {
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    sink(finalize(i));
   }
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -208,9 +209,18 @@ class SessionPool {
   void retire_finished(std::vector<SessionRecord>& out,
                        std::uint64_t& completed);
 
+  /// Sink form of pass 4: streaming consumers (core/cell_accumulator.h)
+  /// fold each record as it retires instead of materializing a vector.
+  /// Records are produced in the same order as the vector overload.
+  void retire_finished(const std::function<void(const SessionRecord&)>& sink,
+                       std::uint64_t& completed);
+
   /// Finalize every still-active slot (partial telemetry is valid; the
   /// paper's datasets flush the same way at the experiment boundary).
   void flush_all(std::vector<SessionRecord>& out) const;
+
+  /// Sink form of the flush, same record order as the vector overload.
+  void flush_all(const std::function<void(const SessionRecord&)>& sink) const;
 
   // ----- per-slot accessors (the Session wrapper and tests) ----------
 

@@ -22,6 +22,7 @@
 #include "core/estimator.h"
 #include "lab/experiment.h"
 #include "lab/journal.h"
+#include "lab/registry.h"
 #include "util/runner.h"
 
 namespace {
@@ -43,8 +44,12 @@ int usage(const char* argv0) {
       "                                  rows; default unlimited)\n"
       "          [--on-failure <mode>]   fail_fast | skip | retry:<n>\n"
       "          [--trace-file <path>]   session log for trace/* scenarios\n"
+      "          [--streaming]           stream sessions into hourly-cell\n"
+      "                                  sketches (fleet-scale memory)\n"
+      "       %s --list-scenarios       print scenario registry keys\n"
+      "       %s --list-estimators      print estimator registry keys\n"
       "Exit codes: 0 all cells OK, 3 partial completion, 1 error, 2 usage.\n",
-      argv0, xp::lab::kJournalVersion);
+      argv0, xp::lab::kJournalVersion, argv0, argv0);
   return 2;
 }
 
@@ -76,7 +81,19 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--scenario") == 0) {
+    if (std::strcmp(argv[i], "--list-scenarios") == 0) {
+      // Registry introspection: print the keys and exit 0 — no spec
+      // needed (today unknown keys only surface in the error message).
+      for (const std::string& name : xp::lab::scenario_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--list-estimators") == 0) {
+      for (const std::string& name : xp::core::estimator_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--scenario") == 0) {
       spec.scenario = value();
     } else if (std::strcmp(argv[i], "--journal") == 0) {
       journal.directory = value();
@@ -98,6 +115,8 @@ int main(int argc, char** argv) {
       spec.tuning.budget.max_work_units = std::strtoull(value(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace-file") == 0) {
       spec.tuning.trace_path = value();
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      spec.tuning.streaming = true;
     } else if (std::strcmp(argv[i], "--on-failure") == 0) {
       const std::string mode = value();
       if (mode == "fail_fast") {
